@@ -1,0 +1,107 @@
+"""EXP-T18 — the memoryless variant (Theorem 18).
+
+The memoryless enumerator recomputes its position from the previous
+output on every call; Theorem 18 promises the same O(λ × |A|) delay.
+We verify (a) the sequences are identical, (b) the per-output delay is
+within a modest constant factor of the eager enumerator's, and (c) the
+delay stays flat as |D| grows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import loglog_slope, measure_delays
+from repro.core.engine import DistinctShortestWalks
+from repro.workloads.worstcase import diamond_chain
+
+from benchmarks.bench_delay import _accept_all, _diamond_with_bulk
+
+
+def test_memoryless_equals_eager_sequence(benchmark):
+    graph, nfa, s, t = diamond_chain(10, parallel=2)
+    eager = [
+        w.edges
+        for w in DistinctShortestWalks(graph, nfa, s, t).enumerate()
+    ]
+    engine = DistinctShortestWalks(graph, nfa, s, t, mode="memoryless")
+    engine.preprocess()
+    lazy = benchmark.pedantic(
+        lambda: [w.edges for w in engine.enumerate()], rounds=2, iterations=1
+    )
+    assert eager == lazy
+
+
+def test_memoryless_delay_comparison(benchmark, print_table):
+    graph, nfa, s, t = diamond_chain(10, parallel=2)
+    rows = []
+    stats_by_mode = {}
+    for mode in ("iterative", "memoryless"):
+        engine = DistinctShortestWalks(graph, nfa, s, t, mode=mode)
+        engine.preprocess()
+        stats = measure_delays(engine.enumerate)
+        stats_by_mode[mode] = stats
+        rows.append(
+            [
+                mode,
+                stats.outputs,
+                f"{stats.mean_delay_s * 1e6:.2f} µs",
+                f"{stats.max_delay_s * 1e6:.2f} µs",
+            ]
+        )
+    engine = DistinctShortestWalks(graph, nfa, s, t, mode="memoryless")
+    engine.preprocess()
+    benchmark.pedantic(
+        lambda: sum(1 for _ in engine.enumerate()), rounds=2, iterations=1
+    )
+    ratio = (
+        stats_by_mode["memoryless"].mean_delay_s
+        / max(stats_by_mode["iterative"].mean_delay_s, 1e-9)
+    )
+    rows.append(["ratio", "", f"{ratio:.2f}x", ""])
+    print_table(
+        "EXP-T18: memoryless vs eager delay (1024 answers, λ=10)",
+        ["mode", "outputs", "mean delay", "max delay"],
+        rows,
+    )
+    # Memoryless pays the guided re-descent: allow a generous constant
+    # factor, but it must stay a *constant* (same asymptotics).
+    assert ratio < 60, f"memoryless overhead not constant-like: {ratio:.1f}x"
+
+
+def test_memoryless_delay_independent_of_database(benchmark, print_table):
+    k = 8
+    sizes, delays, rows = [], [], []
+    for bulk in (0, 8_000, 32_000):
+        graph = _diamond_with_bulk(k, 2, bulk)
+        engine = DistinctShortestWalks(
+            graph, _accept_all(), "v0", f"v{k}", mode="memoryless"
+        )
+        engine.preprocess()
+        stats = measure_delays(engine.enumerate)
+        assert stats.outputs == 2 ** k
+        sizes.append(graph.size())
+        delays.append(stats.mean_delay_s)
+        rows.append(
+            [graph.size(), f"{stats.mean_delay_s * 1e6:.2f} µs"]
+        )
+    slope = loglog_slope(sizes, delays)
+    rows.append(["slope", f"{slope:.3f}"])
+    benchmark.pedantic(
+        lambda: sum(1 for _ in engine.enumerate()), rounds=2, iterations=1
+    )
+    print_table(
+        "EXP-T18: memoryless delay vs |D| — flat (slope ≈ 0)",
+        ["|D|", "mean delay"],
+        rows,
+    )
+    assert slope < 0.3
+
+
+@pytest.mark.parametrize("mode", ["iterative", "memoryless"])
+def test_enumeration_modes_benchmark(benchmark, mode):
+    graph, nfa, s, t = diamond_chain(9, parallel=2)
+    engine = DistinctShortestWalks(graph, nfa, s, t, mode=mode)
+    engine.preprocess()
+    count = benchmark(lambda: sum(1 for _ in engine.enumerate()))
+    assert count == 2 ** 9

@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark suites.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+Each suite prints the table recorded in ``EXPERIMENTS.md`` (the ``-s``
+flag shows them) and asserts the *shape* of the paper's claim — slopes,
+independence, blowups — never absolute timings.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_configure(config):
+    # Benchmarks double as shape tests; keep pytest-benchmark quiet-ish.
+    config.option.benchmark_disable_gc = True
+
+
+@pytest.fixture(scope="session")
+def print_table():
+    """Print a table with a title, flush-through under ``-s``."""
+    from repro.bench import format_table
+
+    def _print(title: str, headers, rows) -> None:
+        print(f"\n## {title}")
+        print(format_table(headers, rows))
+
+    return _print

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Fraud detection on a synthetic bank-transfer network.
+
+Scales the Example 9 scenario up: 500 accounts, a few thousand
+transfers labeled ``h`` (high value), ``s`` (suspicious), ``w`` (wire),
+``c`` (cash).  Shows:
+
+* RPQ queries with the full expression syntax (unions, stars, bounded
+  repetitions);
+* the query planner explaining which engine runs;
+* multiplicities as a crude "how suspicious is this walk" signal;
+* one-source-to-many-targets: where can the mule account reach?
+
+Run:  python examples/fraud_detection.py
+"""
+
+from repro import rpq
+from repro.query import analyze
+from repro.workloads.fraud import fraud_network
+
+
+def main() -> None:
+    graph = fraud_network(
+        n_accounts=500, n_transfers=3_000, seed=2024, chain_length=5
+    )
+    print(f"transfer network: {graph}")
+    source, sink = "acct0", "acct499"
+
+    # 1. Classic laundering pattern: anything, then a suspicious hop,
+    #    then anything — restricted to "money actually moving" labels.
+    laundering = rpq("(h | w | c)* s (h | w | c | s)*")
+    engine = laundering.engine(graph, source, sink)
+    print(f"\nquery: {laundering.expression}")
+    print(f"  λ = {engine.lam}")
+    walks = list(engine.enumerate())
+    print(f"  distinct shortest walks: {len(walks)}")
+    for walk in walks[:5]:
+        print(f"    {walk.describe()}")
+    if len(walks) > 5:
+        print(f"    ... and {len(walks) - 5} more")
+
+    # 2. The planner explains itself (multi-labeled data -> general
+    #    algorithm; Theorem 2 bounds).
+    print("\nplanner analysis:")
+    print(analyze(graph, laundering.automaton).explain())
+
+    # 3. Multiplicities: walks whose label sets admit many accepting
+    #    runs are "suspicious in many ways".
+    print("\nwalks ranked by number of accepting runs:")
+    ranked = sorted(
+        laundering.shortest_walks_with_multiplicity(graph, source, sink),
+        key=lambda pair: -pair[1],
+    )
+    for walk, runs in ranked[:3]:
+        print(f"  {runs:4d} runs  {walk.describe()}")
+
+    # 4. Multi-target: everything reachable from the mule account by a
+    #    short chain of exclusively-suspicious transfers.
+    short_chain = rpq("s{1,3}")
+    multi = short_chain.to_all_targets(graph, source)
+    reached = multi.reached_target_names()
+    print(
+        f"\naccounts reachable from {source} via 1-3 suspicious hops: "
+        f"{len(reached)}"
+    )
+    for name in sorted(reached)[:10]:
+        print(f"  {name} (λ = {multi.lam_for(name)})")
+
+
+if __name__ == "__main__":
+    main()

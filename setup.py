@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+All metadata lives in ``pyproject.toml``; this file exists so that
+legacy editable installs (``pip install -e . --no-use-pep517``) work on
+environments without the ``wheel`` package — such as offline boxes.
+"""
+
+from setuptools import setup
+
+setup()

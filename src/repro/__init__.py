@@ -1,0 +1,107 @@
+"""repro — Distinct Shortest Walk Enumeration for RPQs.
+
+A from-scratch Python implementation of
+
+    Claire David, Nadime Francis, Victor Marsault.
+    *Distinct Shortest Walk Enumeration for RPQs.*  PODS 2024.
+    arXiv:2312.05505.
+
+Given a multi-labeled multi-edge graph database, two vertices and a
+regular path query, enumerate **all shortest matching walks, each
+exactly once**, with O(|D|×|A|) preprocessing and O(λ×|A|) delay.
+
+Quickstart::
+
+    from repro import GraphBuilder, rpq
+
+    b = GraphBuilder()
+    b.add_edge("Alix", "Dan", ["h", "s"])
+    b.add_edge("Dan", "Bob", ["h"])
+    g = b.build()
+
+    for walk in rpq("h* s (h | s)*").shortest_walks(g, "Alix", "Bob"):
+        print(walk.describe())
+
+See ``DESIGN.md`` for the architecture and ``EXPERIMENTS.md`` for the
+reproduction of the paper's claims.
+"""
+
+from repro.automata import (
+    ANY,
+    EPSILON,
+    NFA,
+    equivalent,
+    glushkov_nfa,
+    language_key,
+    minimize,
+    parse_rpq,
+    regex_to_nfa,
+    thompson_nfa,
+)
+from repro.core import (
+    DistinctCheapestWalks,
+    DistinctShortestWalks,
+    MultiTargetShortestWalks,
+    Walk,
+    count_distinct_shortest,
+    count_shortest_product_paths,
+    count_total_multiplicity,
+    distinct_shortest_walks,
+)
+from repro.exceptions import (
+    AutomatonError,
+    CostError,
+    GraphError,
+    PatternSyntaxError,
+    QueryError,
+    RegexSyntaxError,
+    ReproError,
+)
+from repro.graph import (
+    Graph,
+    GraphBuilder,
+    LabelRule,
+    PropertyGraph,
+    project,
+)
+from repro.query import RPQ, PathPattern, analyze, parse_pattern, rpq
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ANY",
+    "AutomatonError",
+    "CostError",
+    "DistinctCheapestWalks",
+    "DistinctShortestWalks",
+    "EPSILON",
+    "Graph",
+    "GraphBuilder",
+    "GraphError",
+    "LabelRule",
+    "MultiTargetShortestWalks",
+    "NFA",
+    "PathPattern",
+    "PatternSyntaxError",
+    "PropertyGraph",
+    "QueryError",
+    "RPQ",
+    "RegexSyntaxError",
+    "ReproError",
+    "Walk",
+    "analyze",
+    "count_distinct_shortest",
+    "count_shortest_product_paths",
+    "count_total_multiplicity",
+    "distinct_shortest_walks",
+    "equivalent",
+    "glushkov_nfa",
+    "language_key",
+    "minimize",
+    "parse_pattern",
+    "parse_rpq",
+    "project",
+    "regex_to_nfa",
+    "rpq",
+    "thompson_nfa",
+]

@@ -1,0 +1,136 @@
+"""Automata substrate: NFAs, ε-NFAs, and regex→NFA constructions.
+
+The paper's queries (Definition 6) are nondeterministic finite automata
+over the database's label alphabet; Section 5 extends the algorithm to
+ε-transitions and to queries given as regular expressions, via the
+Thompson construction (Theorem 19) or the Glushkov construction.
+
+Public entry points:
+
+* :class:`~repro.automata.nfa.NFA` and the :data:`EPSILON` /
+  :data:`ANY` label sentinels;
+* :func:`~repro.automata.regex_parser.parse_rpq` — regular path query
+  expressions to ASTs;
+* :func:`~repro.automata.thompson.thompson_nfa` and
+  :func:`~repro.automata.glushkov.glushkov_nfa`;
+* :func:`regex_to_nfa` — one-stop compilation helper;
+* :mod:`repro.automata.ops` — ε-elimination, reversal, trimming,
+  product, unambiguity testing;
+* :func:`~repro.automata.determinize.determinize` — subset
+  construction;
+* :mod:`repro.automata.minimize` — Hopcroft / Brzozowski minimization
+  and canonical language keys;
+* :mod:`repro.automata.equivalence` — language equivalence / inclusion
+  with shortest counterexamples.
+"""
+
+from repro.automata.closure import (
+    complement_nfa,
+    concat_nfa,
+    difference_nfa,
+    intersect_nfa,
+    option_nfa,
+    plus_nfa,
+    star_nfa,
+    union_nfa,
+)
+from repro.automata.determinize import determinize, is_deterministic
+from repro.automata.equivalence import (
+    counterexample,
+    equivalent,
+    is_subset,
+    subset_counterexample,
+)
+from repro.automata.glushkov import glushkov_nfa
+from repro.automata.minimize import (
+    language_key,
+    minimize,
+    minimize_brzozowski,
+)
+from repro.automata.nfa import ANY, EPSILON, NFA
+from repro.automata.ops import (
+    is_unambiguous,
+    product,
+    remove_epsilon,
+    reverse,
+    trim,
+)
+from repro.automata.regex_ast import (
+    AnyAtom,
+    Concat,
+    EpsilonAtom,
+    Label,
+    Optional,
+    Plus,
+    Repeat,
+    Star,
+    Union,
+    ast_size,
+    desugar,
+)
+from repro.automata.regex_parser import parse_rpq
+from repro.automata.thompson import thompson_nfa
+
+
+def regex_to_nfa(expression, method: str = "thompson") -> NFA:
+    """Compile a regular path query to an :class:`NFA`.
+
+    ``expression`` may be a string (parsed with :func:`parse_rpq`) or an
+    already-built AST node.  ``method`` selects the construction:
+
+    * ``"thompson"`` — ε-NFA with O(|R|) states and transitions
+      (Theorem 19); the default, as it preserves the paper's
+      O(|R|·|D|) preprocessing bound (Corollary 20);
+    * ``"glushkov"`` — ε-free NFA with |R|+1 states but up to O(|R|²)
+      transitions.
+    """
+    ast = parse_rpq(expression) if isinstance(expression, str) else expression
+    if method == "thompson":
+        return thompson_nfa(ast)
+    if method == "glushkov":
+        return glushkov_nfa(ast)
+    raise ValueError(f"unknown construction method: {method!r}")
+
+
+__all__ = [
+    "ANY",
+    "EPSILON",
+    "NFA",
+    "AnyAtom",
+    "Concat",
+    "EpsilonAtom",
+    "Label",
+    "Optional",
+    "Plus",
+    "Repeat",
+    "Star",
+    "Union",
+    "ast_size",
+    "complement_nfa",
+    "concat_nfa",
+    "counterexample",
+    "desugar",
+    "determinize",
+    "difference_nfa",
+    "equivalent",
+    "glushkov_nfa",
+    "intersect_nfa",
+    "option_nfa",
+    "plus_nfa",
+    "star_nfa",
+    "union_nfa",
+    "is_deterministic",
+    "is_subset",
+    "is_unambiguous",
+    "language_key",
+    "minimize",
+    "minimize_brzozowski",
+    "parse_rpq",
+    "product",
+    "regex_to_nfa",
+    "remove_epsilon",
+    "reverse",
+    "subset_counterexample",
+    "thompson_nfa",
+    "trim",
+]

@@ -1,0 +1,98 @@
+"""Glushkov (position) construction: regex → ε-free NFA.
+
+Produces an automaton with ``|positions| + 1`` states — one per label
+occurrence plus a fresh initial state — and no ε-transitions, but up to
+O(|R|²) transitions.  The paper (Section 5.2) notes that using Glushkov
+instead of Thompson would degrade the bounds to O(|R|² × |D|)
+preprocessing and O(λ × |R|²) delay; the benchmark suite quantifies
+that trade-off (experiment EXP-C20).
+
+Implementation: classical ``nullable`` / ``first`` / ``last`` /
+``follow`` computation over the desugared AST.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple, Union as TUnion
+
+from repro.automata.nfa import ANY, NFA, _Sentinel
+from repro.automata.regex_ast import (
+    AnyAtom,
+    Concat,
+    EpsilonAtom,
+    Label,
+    RegexNode,
+    Star,
+    Union,
+    desugar,
+)
+
+_PosLabel = TUnion[str, _Sentinel]
+
+
+@dataclass
+class _Facts:
+    nullable: bool
+    first: Set[int]
+    last: Set[int]
+
+
+def glushkov_nfa(ast: RegexNode) -> NFA:
+    """Compile an AST (sugar allowed) into an ε-free position NFA."""
+    core = desugar(ast)
+
+    position_labels: List[_PosLabel] = []
+    follow: Dict[int, Set[int]] = {}
+
+    def analyze(node: RegexNode) -> _Facts:
+        if isinstance(node, EpsilonAtom):
+            return _Facts(True, set(), set())
+        if isinstance(node, (Label, AnyAtom)):
+            pos = len(position_labels)
+            position_labels.append(
+                node.name if isinstance(node, Label) else ANY
+            )
+            follow[pos] = set()
+            return _Facts(False, {pos}, {pos})
+        if isinstance(node, Concat):
+            facts = analyze(node.parts[0])
+            for part in node.parts[1:]:
+                rhs = analyze(part)
+                for p in facts.last:
+                    follow[p] |= rhs.first
+                facts = _Facts(
+                    facts.nullable and rhs.nullable,
+                    facts.first | (rhs.first if facts.nullable else set()),
+                    rhs.last | (facts.last if rhs.nullable else set()),
+                )
+            return facts
+        if isinstance(node, Union):
+            parts = [analyze(p) for p in node.parts]
+            return _Facts(
+                any(f.nullable for f in parts),
+                set().union(*(f.first for f in parts)),
+                set().union(*(f.last for f in parts)),
+            )
+        if isinstance(node, Star):
+            inner = analyze(node.child)
+            for p in inner.last:
+                follow[p] |= inner.first
+            return _Facts(True, set(inner.first), set(inner.last))
+        raise TypeError(f"unexpected core node: {node!r}")
+
+    facts = analyze(core)
+
+    nfa = NFA(len(position_labels) + 1)
+    start = len(position_labels)  # Positions are 0..k-1; start is k.
+    nfa.set_initial(start)
+    for pos in facts.first:
+        nfa.add_transition(start, position_labels[pos], pos)
+    for pos, successors in follow.items():
+        for nxt in successors:
+            nfa.add_transition(pos, position_labels[nxt], nxt)
+    for pos in facts.last:
+        nfa.set_final(pos)
+    if facts.nullable:
+        nfa.set_final(start)
+    return nfa

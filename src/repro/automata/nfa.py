@@ -1,0 +1,329 @@
+"""Nondeterministic finite automata over label alphabets.
+
+Definition 6 of the paper: an NFA is ``(Σ, Q, Δ, I, F)``.  States are
+dense integers (as the paper's memory model assumes); transition labels
+are either
+
+* a concrete label name (a ``str``),
+* :data:`EPSILON` — a spontaneous transition (Section 5.1), or
+* :data:`ANY` — a wildcard that matches every label of the database the
+  query is eventually run against (syntactic sugar used by the RPQ
+  front-end; it is expanded at query-compile time and does not change
+  the algorithm).
+
+``Δ(q, a)`` is accessible in O(1) and is duplicate-free, exactly as the
+paper assumes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
+
+from repro.exceptions import AutomatonError
+
+
+class _Sentinel:
+    """Interned marker labels (ε and the wildcard)."""
+
+    __slots__ = ("_name",)
+
+    def __init__(self, name: str) -> None:
+        self._name = name
+
+    def __repr__(self) -> str:
+        return self._name
+
+
+#: The spontaneous-transition label (Section 5.1).
+EPSILON = _Sentinel("ε")
+
+#: The wildcard label: matches any database label.
+ANY = _Sentinel("ANY")
+
+TransitionLabel = Union[str, _Sentinel]
+
+
+class NFA:
+    """A mutable NFA; freeze-free by design ("we are all responsible users").
+
+    >>> a = NFA()
+    >>> q0, q1 = a.add_state(), a.add_state()
+    >>> a.add_transition(q0, "h", q0)
+    >>> a.add_transition(q0, "s", q1)
+    >>> a.add_transition(q1, "h", q1)
+    >>> a.add_transition(q1, "s", q1)
+    >>> a.set_initial(q0); a.set_final(q1)
+    >>> a.accepts(["h", "h", "s"])
+    True
+    >>> a.accepts(["h", "h"])
+    False
+    """
+
+    __slots__ = ("_delta", "_delta_sets", "_initial", "_final")
+
+    def __init__(self, n_states: int = 0) -> None:
+        self._delta: List[Dict[TransitionLabel, List[int]]] = [
+            {} for _ in range(n_states)
+        ]
+        # Shadow sets for O(1) duplicate suppression in add_transition.
+        self._delta_sets: List[Dict[TransitionLabel, Set[int]]] = [
+            {} for _ in range(n_states)
+        ]
+        self._initial: Set[int] = set()
+        self._final: Set[int] = set()
+
+    # -- construction ------------------------------------------------------
+
+    def add_state(self) -> int:
+        """Create a new state and return its id."""
+        self._delta.append({})
+        self._delta_sets.append({})
+        return len(self._delta) - 1
+
+    def add_states(self, count: int) -> List[int]:
+        """Create ``count`` states; returns their ids."""
+        return [self.add_state() for _ in range(count)]
+
+    def _check_state(self, q: int) -> None:
+        if not 0 <= q < len(self._delta):
+            raise AutomatonError(f"unknown state: {q}")
+
+    def add_transition(self, q: int, label: TransitionLabel, p: int) -> None:
+        """Add ``(q, label, p)`` to Δ (idempotent)."""
+        self._check_state(q)
+        self._check_state(p)
+        if isinstance(label, str) and not label:
+            raise AutomatonError("transition labels must be non-empty")
+        if not isinstance(label, (str, _Sentinel)):
+            raise AutomatonError(f"bad transition label: {label!r}")
+        bucket = self._delta_sets[q].setdefault(label, set())
+        if p not in bucket:
+            bucket.add(p)
+            self._delta[q].setdefault(label, []).append(p)
+
+    def set_initial(self, *states: int) -> None:
+        """Mark states as initial."""
+        for q in states:
+            self._check_state(q)
+            self._initial.add(q)
+
+    def set_final(self, *states: int) -> None:
+        """Mark states as final."""
+        for q in states:
+            self._check_state(q)
+            self._final.add(q)
+
+    # -- basic inspection ------------------------------------------------------
+
+    @property
+    def n_states(self) -> int:
+        """|Q|."""
+        return len(self._delta)
+
+    @property
+    def initial(self) -> FrozenSet[int]:
+        """I."""
+        return frozenset(self._initial)
+
+    @property
+    def final(self) -> FrozenSet[int]:
+        """F."""
+        return frozenset(self._final)
+
+    def states(self) -> range:
+        """All state ids."""
+        return range(self.n_states)
+
+    def delta(self, q: int, label: TransitionLabel) -> Tuple[int, ...]:
+        """``Δ(q, label)`` as a duplicate-free tuple. O(1) lookup."""
+        self._check_state(q)
+        return tuple(self._delta[q].get(label, ()))
+
+    def transitions_from(
+        self, q: int
+    ) -> Iterator[Tuple[TransitionLabel, Tuple[int, ...]]]:
+        """Iterate ``(label, targets)`` pairs out of ``q``."""
+        self._check_state(q)
+        for label, targets in self._delta[q].items():
+            yield label, tuple(targets)
+
+    def transitions(self) -> Iterator[Tuple[int, TransitionLabel, int]]:
+        """Iterate all transition triples ``(q, label, p)``."""
+        for q in self.states():
+            for label, targets in self._delta[q].items():
+                for p in targets:
+                    yield q, label, p
+
+    def eps_successors(self, q: int) -> Tuple[int, ...]:
+        """``Δ(q, ε)``."""
+        return self.delta(q, EPSILON)
+
+    @property
+    def has_epsilon(self) -> bool:
+        """True when Δ contains at least one ε-transition."""
+        return any(EPSILON in d for d in self._delta)
+
+    def alphabet(self) -> Set[str]:
+        """Concrete labels appearing in Δ (excludes ε and the wildcard)."""
+        labels: Set[str] = set()
+        for d in self._delta:
+            labels.update(l for l in d if isinstance(l, str))
+        return labels
+
+    @property
+    def uses_wildcard(self) -> bool:
+        """True when Δ contains an :data:`ANY` transition."""
+        return any(ANY in d for d in self._delta)
+
+    @property
+    def transition_count(self) -> int:
+        """|Δ| — total number of transition triples."""
+        return sum(len(ts) for d in self._delta for ts in d.values())
+
+    def size(self) -> int:
+        """The paper's ``|A| = |Σ| + |Q| + |Δ|`` (with |I|,|F| ≤ |Q|)."""
+        return len(self.alphabet()) + self.n_states + self.transition_count
+
+    # -- semantics -----------------------------------------------------------------
+
+    def eps_closure(self, states: Iterable[int]) -> FrozenSet[int]:
+        """All states reachable from ``states`` via ε-transitions."""
+        seen: Set[int] = set(states)
+        stack = list(seen)
+        while stack:
+            q = stack.pop()
+            for p in self._delta[q].get(EPSILON, ()):
+                if p not in seen:
+                    seen.add(p)
+                    stack.append(p)
+        return frozenset(seen)
+
+    def step(self, states: Iterable[int], label: str) -> FrozenSet[int]:
+        """One synchronous move on ``label`` (ANY fires too), ε-closed."""
+        nxt: Set[int] = set()
+        for q in states:
+            nxt.update(self._delta[q].get(label, ()))
+            nxt.update(self._delta[q].get(ANY, ()))
+        return self.eps_closure(nxt)
+
+    def accepts(self, word: Sequence[str]) -> bool:
+        """Stateset simulation: is ``word`` in L(A)?"""
+        current = self.eps_closure(self._initial)
+        for symbol in word:
+            current = self.step(current, symbol)
+            if not current:
+                return False
+        return bool(current & self._final)
+
+    def matches_label_sets(
+        self, label_sets: Sequence[Iterable[str]]
+    ) -> bool:
+        """Does *some* word drawn from the label sets belong to L(A)?
+
+        This is exactly the paper's matching condition for a walk
+        (Definition 7): ``L(A) ∩ Lbl(w) ≠ ∅`` where ``Lbl(w)`` is the
+        set of words obtained by picking one label per edge.  The
+        stateset simulation evaluates it without enumerating the
+        (exponentially many) words.
+        """
+        current: FrozenSet[int] = self.eps_closure(self._initial)
+        for labels in label_sets:
+            nxt: Set[int] = set()
+            for symbol in labels:
+                for q in current:
+                    nxt.update(self._delta[q].get(symbol, ()))
+            for q in current:
+                nxt.update(self._delta[q].get(ANY, ()))
+            current = self.eps_closure(nxt)
+            if not current:
+                return False
+        return bool(current & self._final)
+
+    def shortest_accepted_length(self) -> Union[int, None]:
+        """Length of a shortest word in L(A), or ``None`` if L(A) = ∅.
+
+        0-1 BFS: ε-transitions cost 0, labeled transitions cost 1.
+        """
+        dist: Dict[int, int] = {q: 0 for q in self._initial}
+        queue: deque = deque(self._initial)
+        best: Union[int, None] = None
+        while queue:
+            q = queue.popleft()
+            d = dist[q]
+            if best is not None and d >= best:
+                continue
+            if q in self._final:
+                best = d if best is None else min(best, d)
+                continue
+            for label, targets in self._delta[q].items():
+                step_cost = 0 if label is EPSILON else 1
+                for p in targets:
+                    nd = d + step_cost
+                    if p not in dist or nd < dist[p]:
+                        dist[p] = nd
+                        if step_cost == 0:
+                            queue.appendleft(p)
+                        else:
+                            queue.append(p)
+        if best is not None:
+            return best
+        finals = self._final & set(dist)
+        return min((dist[f] for f in finals), default=None)
+
+    def is_empty_language(self) -> bool:
+        """True iff L(A) = ∅."""
+        return self.shortest_accepted_length() is None
+
+    # -- misc --------------------------------------------------------------------------
+
+    def copy(self) -> "NFA":
+        """Deep copy."""
+        clone = NFA(self.n_states)
+        for q, label, p in self.transitions():
+            clone.add_transition(q, label, p)
+        clone.set_initial(*self._initial)
+        clone.set_final(*self._final)
+        return clone
+
+    def validate(self) -> None:
+        """Raise :class:`AutomatonError` on structural problems."""
+        n = self.n_states
+        for q in list(self._initial) + list(self._final):
+            if not 0 <= q < n:
+                raise AutomatonError(f"initial/final state out of range: {q}")
+        for q, label, p in self.transitions():
+            if not 0 <= p < n:
+                raise AutomatonError(f"transition target out of range: {p}")
+            if isinstance(label, str) and not label:
+                raise AutomatonError("empty transition label")
+
+    def to_dot(self) -> str:
+        """GraphViz rendering, for documentation and debugging."""
+        lines = ["digraph nfa {", "  rankdir=LR;", '  node [shape=circle];']
+        for q in self._final:
+            lines.append(f"  {q} [shape=doublecircle];")
+        for i, q in enumerate(sorted(self._initial)):
+            lines.append(f'  __start{i} [shape=point, style=invis];')
+            lines.append(f"  __start{i} -> {q};")
+        for q, label, p in self.transitions():
+            text = "ε" if label is EPSILON else ("." if label is ANY else str(label))
+            lines.append(f'  {q} -> {p} [label="{text}"];')
+        lines.append("}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"NFA(|Q|={self.n_states}, |Δ|={self.transition_count}, "
+            f"I={sorted(self._initial)}, F={sorted(self._final)})"
+        )

@@ -1,0 +1,39 @@
+"""Baseline algorithms the paper compares against (or warns about).
+
+* :mod:`repro.baselines.naive` — shortest-path enumeration in the
+  product graph with a stored dedup set: the strawman of Section 1,
+  which can emit exponentially many duplicates per answer;
+* :mod:`repro.baselines.all_shortest_words` — from-scratch
+  Ackerman–Shallit enumeration of the shortest words of an NFA's
+  language in radix order (Theorem 21);
+* :mod:`repro.baselines.martens_trautner` — the Theorem 1 / Appendix A
+  reduction of Distinct Shortest Walks to All Shortest Words;
+* :mod:`repro.baselines.untrimmed` — the factor-``d`` ablation of
+  Section 3.2: ``Enumerate`` reading the raw ``B`` maps with no
+  ``Trim`` step;
+* :mod:`repro.baselines.oracle` — exhaustive ground truth used only by
+  the test suite.
+"""
+
+from repro.baselines.all_shortest_words import all_shortest_words
+from repro.baselines.martens_trautner import (
+    ProductAutomaton,
+    build_product_automaton,
+    martens_trautner_walks,
+)
+from repro.baselines.naive import NaiveStats, naive_enumerate
+from repro.baselines.oracle import oracle_answer_set, oracle_lam
+from repro.baselines.untrimmed import UntrimmedStats, enumerate_untrimmed
+
+__all__ = [
+    "NaiveStats",
+    "ProductAutomaton",
+    "UntrimmedStats",
+    "all_shortest_words",
+    "build_product_automaton",
+    "enumerate_untrimmed",
+    "martens_trautner_walks",
+    "naive_enumerate",
+    "oracle_answer_set",
+    "oracle_lam",
+]

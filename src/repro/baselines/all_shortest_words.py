@@ -1,0 +1,133 @@
+"""All Shortest Words — Ackerman–Shallit style enumeration (Appendix A).
+
+Problem: given an NFA, enumerate **all shortest words** of its language,
+without duplicates, in lexicographic (radix) order.  Theorem 21 of the
+paper (after [1, 14]) gives O(λ×|Δ| + λ×|Q|²) preprocessing and
+O(λ×|Δ|) delay; this module implements that algorithm from scratch.
+
+Shape of the algorithm:
+
+1. forward BFS from the initial states to find λ;
+2. backward layers ``R[k]`` = states from which a final state is
+   reachable in exactly ``k`` steps, for ``k = 0..λ``;
+3. DFS over the prefix tree of shortest words: at a node with state
+   set ``S`` and ``k`` letters remaining, the viable next letters are
+   those ``a`` with ``Δ(S, a) ∩ R[k-1] ≠ ∅`` — tried in sorted order,
+   which yields lexicographic output.
+
+The function is generic over state and symbol types (symbols must be
+sortable); the Martens–Trautner reduction instantiates it with integer
+edge ids as symbols.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Set,
+    Tuple,
+)
+
+State = Hashable
+Symbol = Hashable
+#: transitions[q][a] -> iterable of successor states.
+Transitions = Mapping[State, Mapping[Symbol, Iterable[State]]]
+
+
+def _candidates(
+    transitions: Transitions,
+    states: Iterable[State],
+    viable: Set[State],
+) -> List[Tuple[Symbol, FrozenSet[State]]]:
+    """Viable ``(symbol, successor set)`` pairs, sorted by symbol."""
+    per_symbol: Dict[Symbol, Set[State]] = {}
+    for q in states:
+        for symbol, targets in transitions.get(q, {}).items():
+            survivors = viable.intersection(targets)
+            if survivors:
+                per_symbol.setdefault(symbol, set()).update(survivors)
+    return [
+        (symbol, frozenset(per_symbol[symbol]))
+        for symbol in sorted(per_symbol)  # type: ignore[type-var]
+    ]
+
+
+def all_shortest_words(
+    initial: Iterable[State],
+    final: Iterable[State],
+    transitions: Transitions,
+) -> Iterator[Tuple[Symbol, ...]]:
+    """Enumerate the shortest words of the NFA, lexicographically.
+
+    The automaton must be ε-free (the reduction's product automaton is
+    by construction).  Yields nothing when the language is empty.
+    """
+    initial_set: Set[State] = set(initial)
+    final_set: Set[State] = set(final)
+    if initial_set & final_set:
+        # ε is accepted; it is the unique shortest word.
+        yield ()
+        return
+
+    # 1. Forward BFS for λ.
+    dist: Dict[State, int] = {q: 0 for q in initial_set}
+    frontier: List[State] = list(initial_set)
+    lam = None
+    level = 0
+    while frontier and lam is None:
+        level += 1
+        current, frontier = frontier, []
+        for q in current:
+            for targets in transitions.get(q, {}).values():
+                for p in targets:
+                    if p not in dist:
+                        dist[p] = level
+                        frontier.append(p)
+                        if p in final_set:
+                            lam = level
+    if lam is None:
+        return
+
+    # 2. Backward layers R[0..λ].
+    reverse: Dict[State, Set[State]] = {}
+    for q, moves in transitions.items():
+        for targets in moves.values():
+            for p in targets:
+                reverse.setdefault(p, set()).add(q)
+    layers: List[Set[State]] = [set(final_set)]
+    for _ in range(lam):
+        layers.append(
+            {q for p in layers[-1] for q in reverse.get(p, ())}
+        )
+
+    # 3. DFS over the prefix tree, letters in sorted order.
+    word: List[Symbol] = []
+    root = _candidates(transitions, initial_set, layers[lam - 1])
+    stack: List[Tuple[List[Tuple[Symbol, FrozenSet[State]]], int]] = [
+        (root, 0)
+    ]
+    while stack:
+        options, index = stack[-1]
+        if index >= len(options):
+            stack.pop()
+            if word:
+                word.pop()
+            continue
+        stack[-1] = (options, index + 1)
+        symbol, successors = options[index]
+        word.append(symbol)
+        if len(word) == lam:
+            # successors ⊆ R[0] = F, so the word is accepted.
+            yield tuple(word)
+            word.pop()
+            continue
+        remaining = lam - len(word)
+        stack.append(
+            (_candidates(transitions, successors, layers[remaining - 1]), 0)
+        )

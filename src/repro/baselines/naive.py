@@ -1,0 +1,165 @@
+"""The naive baseline: enumerate product paths, deduplicate by storage.
+
+Section 1 of the paper: in ``D × A``, a single walk of ``D`` may be
+witnessed by exponentially many product paths (nondeterminism in the
+query × multi-labels in the data).  Enumerating shortest *product*
+paths and filtering duplicates through a stored set therefore needs
+
+* worst-case exponential **space** (the set of emitted walks), and
+* worst-case exponential **delay** (all copies of one walk may be
+  visited before the next new walk appears).
+
+This module implements exactly that strawman — it is correct, and the
+benchmarks use its :class:`NaiveStats` counters to *measure* the
+blowup the paper's algorithm avoids (experiment EXP-NAIVE).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.core.compile import CompiledQuery
+from repro.core.walks import Walk
+from repro.graph.database import Graph
+
+
+@dataclass
+class NaiveStats:
+    """Work counters for the naive enumeration."""
+
+    #: Shortest product paths visited (= leaves of the product DFS).
+    product_paths: int = 0
+    #: Outputs suppressed because the walk was already emitted.
+    duplicates_suppressed: int = 0
+    #: Distinct walks emitted.
+    outputs: int = 0
+    #: λ (None when no matching walk exists).
+    lam: Optional[int] = None
+    #: Peak size of the dedup set (== outputs; kept for clarity).
+    dedup_set_size: int = field(default=0)
+
+
+def naive_enumerate(
+    cq: CompiledQuery,
+    source: int,
+    target: int,
+    stats: Optional[NaiveStats] = None,
+    max_product_paths: Optional[int] = None,
+) -> Iterator[Walk]:
+    """Enumerate ⟦A⟧(D, s, t) the naive way (ε-free queries).
+
+    ``max_product_paths`` guards benchmarks against the exponential
+    blowup; when the cap is hit a :class:`RuntimeError` is raised so
+    the harness can record "did not finish".
+    """
+    if cq.has_eps:
+        raise ValueError("naive baseline expects an ε-free compiled query")
+    graph = cq.graph
+    if stats is None:
+        stats = NaiveStats()
+
+    n_states = cq.n_states
+    out = graph.out_array
+    tgt_arr = graph.tgt_array
+    labels_arr = graph.label_array
+    delta = cq.delta
+    final = cq.final
+
+    def key(v: int, q: int) -> int:
+        return v * n_states + q
+
+    # BFS of the product graph, recording *all* equal-level parents.
+    dist: Dict[int, int] = {}
+    parents: Dict[int, List[Tuple[int, int]]] = {}
+    frontier: List[Tuple[int, int]] = []
+    for q in sorted(cq.initial_closure):
+        dist[key(source, q)] = 0
+        frontier.append((source, q))
+
+    if source == target and (cq.initial_closure & final):
+        stats.lam = 0
+        stats.outputs = 1
+        yield Walk(graph, (), start=target)
+        return
+
+    level = 0
+    found = False
+    while frontier and not found:
+        level += 1
+        current, frontier = frontier, []
+        for v, q in current:
+            from_key = key(v, q)
+            dq = delta[q]
+            for e in out[v]:
+                u = tgt_arr[e]
+                # One product edge per (e, p) pair: labels that fire the
+                # same transition do not multiply product paths.
+                successors: Set[int] = set()
+                for a in labels_arr[e]:
+                    successors.update(dq.get(a, ()))
+                for p in successors:
+                    k = key(u, p)
+                    known = dist.get(k)
+                    if known is None:
+                        dist[k] = level
+                        parents[k] = [(e, from_key)]
+                        frontier.append((u, p))
+                        if u == target and p in final:
+                            found = True
+                    elif known == level:
+                        parents[k].append((e, from_key))
+    if not found:
+        stats.lam = None
+        return
+    stats.lam = level
+
+    final_keys = [
+        key(target, f) for f in final if dist.get(key(target, f)) == level
+    ]
+    emitted: Set[Tuple[int, ...]] = set()
+
+    # Backward DFS over the parent DAG: every root-to-leaf path is one
+    # shortest *product* path; many may map to the same walk.
+    for final_key in final_keys:
+        chosen: List[int] = []
+        stack: List[Iterator[Tuple[int, int]]] = [
+            iter(parents.get(final_key, ()))
+        ]
+        depth = level  # Remaining steps to the source.
+        while stack:
+            if depth == 0:
+                stats.product_paths += 1
+                if (
+                    max_product_paths is not None
+                    and stats.product_paths > max_product_paths
+                ):
+                    raise RuntimeError(
+                        "naive enumeration exceeded "
+                        f"{max_product_paths} product paths"
+                    )
+                edges = tuple(reversed(chosen))
+                if edges in emitted:
+                    stats.duplicates_suppressed += 1
+                else:
+                    emitted.add(edges)
+                    stats.outputs += 1
+                    stats.dedup_set_size = len(emitted)
+                    yield Walk(graph, edges)
+                stack.pop()
+                depth += 1
+                if chosen:
+                    chosen.pop()
+                continue
+            step = next(stack[-1], None)
+            if step is None:
+                stack.pop()
+                depth += 1
+                if chosen:
+                    chosen.pop()
+                continue
+            e, parent_key = step
+            chosen.append(e)
+            depth -= 1
+            stack.append(iter(parents.get(parent_key, ())))
+        depth = level

@@ -1,0 +1,109 @@
+"""Brute-force ground truth for the test suite.
+
+Deliberately implemented with machinery *disjoint* from the core
+algorithm: λ is found by a BFS over ``(vertex, automaton state set)``
+pairs (deterministic simulation, no B/L maps), and the answer set by
+exhaustive DFS over all walks of length λ followed by NFA matching.
+Exponential in general — only ever run on the small instances produced
+by the property-based tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.automata.nfa import NFA
+from repro.graph.database import Graph
+
+
+def _initial_stateset(nfa: NFA) -> FrozenSet[int]:
+    return nfa.eps_closure(nfa.initial)
+
+
+def _step_stateset(
+    nfa: NFA, states: FrozenSet[int], labels: Tuple[str, ...]
+) -> FrozenSet[int]:
+    """One edge move: any label of the edge may be read."""
+    successors: Set[int] = set()
+    for symbol in labels:
+        for q in states:
+            successors.update(nfa.delta(q, symbol))
+    from repro.automata.nfa import ANY  # Local import to avoid cycles.
+
+    for q in states:
+        successors.update(nfa.delta(q, ANY))
+    return nfa.eps_closure(successors)
+
+
+def oracle_lam(
+    graph: Graph, nfa: NFA, source: int, target: int
+) -> Optional[int]:
+    """λ by BFS over ``(vertex, state set)`` — or ``None``."""
+    start = (source, _initial_stateset(nfa))
+    if source == target and (start[1] & nfa.final):
+        return 0
+    dist: Dict[Tuple[int, FrozenSet[int]], int] = {start: 0}
+    frontier = [start]
+    level = 0
+    while frontier:
+        level += 1
+        current, frontier = frontier, []
+        for v, states in current:
+            for e in graph.out_edges(v):
+                nxt = _step_stateset(nfa, states, graph.label_names_of(e))
+                if not nxt:
+                    continue
+                u = graph.tgt(e)
+                node = (u, nxt)
+                if node not in dist:
+                    dist[node] = level
+                    frontier.append(node)
+                    if u == target and (nxt & nfa.final):
+                        return level
+    return None
+
+
+def oracle_answer_set(
+    graph: Graph,
+    nfa: NFA,
+    source: int,
+    target: int,
+    max_walks: int = 200_000,
+) -> List[Tuple[int, ...]]:
+    """All answers as a sorted list of edge-id tuples.
+
+    Enumerates every walk of length λ from the source by DFS, carrying
+    the reachable state set for pruning, and keeps those that end at
+    the target in a final state.  ``max_walks`` caps the search as a
+    safety net for pathological random instances.
+    """
+    lam = oracle_lam(graph, nfa, source, target)
+    if lam is None:
+        return []
+    if lam == 0:
+        return [()]
+
+    answers: List[Tuple[int, ...]] = []
+    visited = 0
+
+    def explore(
+        v: int, states: FrozenSet[int], depth: int, edges: List[int]
+    ) -> None:
+        nonlocal visited
+        visited += 1
+        if visited > max_walks:
+            raise RuntimeError("oracle exceeded its walk budget")
+        if depth == lam:
+            if v == target and (states & nfa.final):
+                answers.append(tuple(edges))
+            return
+        for e in graph.out_edges(v):
+            nxt = _step_stateset(nfa, states, graph.label_names_of(e))
+            if not nxt:
+                continue
+            edges.append(e)
+            explore(graph.tgt(e), nxt, depth + 1, edges)
+            edges.pop()
+
+    explore(source, _initial_stateset(nfa), 0, [])
+    return sorted(answers)

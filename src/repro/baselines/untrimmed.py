@@ -1,0 +1,167 @@
+"""Ablation baseline: ``Enumerate`` without the ``Trim`` step.
+
+Section 3.2 of the paper motivates ``Trim`` with one sentence: browsing
+``B_u[p]`` directly during the enumeration "would increase the delay by
+a factor *d*, the maximal in-degree of D".  This module implements that
+exact strawman so the claim can be measured (see
+``benchmarks/bench_ablation.py``).
+
+The traversal below is the same depth-first walk of the backward-search
+tree ``T`` as :func:`repro.core.enumerate.enumerate_walks`, with one
+difference: to find the children of a node at vertex ``u`` it scans the
+raw annotation cells ``B_u[p][i]`` for *every* in-edge position
+``i ∈ 0..InDeg(u)-1`` — including the empty ones — instead of peeking
+at the heads of the ``TgtIdx``-sorted queues ``C_u[p]``.  Each tree
+edge therefore costs O(InDeg(u) × |Q|) instead of O(|A|), giving a
+delay of O(λ × d × |Q|).
+
+Both variants visit cells in increasing ``TgtIdx`` order, so the output
+*sequence* (not just the set) is identical to the trimmed algorithm's —
+the test suite checks this on random instances.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterator, List, Optional
+
+from repro.core.annotate import Annotation
+from repro.core.enumerate import CostFn
+from repro.core.walks import Walk
+from repro.graph.database import Graph
+
+
+class UntrimmedStats:
+    """Work counters filled in by :func:`enumerate_untrimmed`.
+
+    ``cells_scanned`` counts every ``B_u[p][i]`` lookup, i.e. the inner
+    loop executions that ``Trim`` would have skipped.  The ablation
+    benchmark reports it alongside wall-clock delay because it is
+    deterministic across machines.
+    """
+
+    __slots__ = ("cells_scanned", "outputs", "tree_nodes")
+
+    def __init__(self) -> None:
+        self.cells_scanned = 0
+        self.outputs = 0
+        self.tree_nodes = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"UntrimmedStats(cells_scanned={self.cells_scanned}, "
+            f"outputs={self.outputs}, tree_nodes={self.tree_nodes})"
+        )
+
+
+class _Frame:
+    """One node of the backward-search tree during the DFS.
+
+    ``next_cell`` is the in-edge position where the child scan resumes;
+    unlike the trimmed algorithm there is no shared cursor state to
+    restart — the cursor lives and dies with the frame.
+    """
+
+    __slots__ = ("vertex", "states", "remaining", "next_cell")
+
+    def __init__(
+        self, vertex: int, states: tuple, remaining: int, next_cell: int = 0
+    ) -> None:
+        self.vertex = vertex
+        self.states = states
+        self.remaining = remaining
+        self.next_cell = next_cell
+
+
+def enumerate_untrimmed(
+    graph: Graph,
+    annotation: Annotation,
+    budget: Optional[int],
+    target: int,
+    start_states: FrozenSet[int],
+    cost_of: Optional[CostFn] = None,
+    stats: Optional[UntrimmedStats] = None,
+) -> Iterator[Walk]:
+    """Enumerate distinct shortest walks straight from the ``B`` maps.
+
+    Parameters mirror :func:`repro.core.enumerate.enumerate_walks`;
+    ``annotation`` replaces the trimmed structure.  ``stats``, when
+    given, accumulates deterministic work counters.
+
+    The answer sequence is identical to the trimmed enumeration's; only
+    the per-step cost differs (O(InDeg × |Q|) here).
+    """
+    if budget is None or not start_states:
+        return
+    if budget == 0:
+        if stats is not None:
+            stats.outputs += 1
+        yield Walk(graph, (), start=target)
+        return
+    if cost_of is None:
+        cost_of = _unit_cost
+
+    B = annotation.B
+    in_array = graph.in_array
+    src_arr = graph.src_array
+
+    chosen: List[int] = []  # Edges from the target side, innermost last.
+    stack: List[_Frame] = [
+        _Frame(target, tuple(sorted(start_states)), budget)
+    ]
+    while stack:
+        frame = stack[-1]
+        if frame.remaining == 0:
+            if stats is not None:
+                stats.outputs += 1
+            yield Walk(graph, tuple(reversed(chosen)))
+            stack.pop()
+            chosen.pop()
+            continue
+
+        # The factor-d scan: walk the in-edge positions one by one,
+        # querying |S| maps per position, until a non-empty cell.
+        per_state = B[frame.vertex]
+        in_list = in_array[frame.vertex]
+        in_degree = len(in_list)
+        child_states: set = set()
+        found_cell = -1
+        i = frame.next_cell
+        while i < in_degree:
+            for p in frame.states:
+                if stats is not None:
+                    stats.cells_scanned += 1
+                cells = per_state.get(p)
+                if cells is None:
+                    continue
+                preds = cells.get(i)
+                if preds:
+                    child_states.update(preds)
+            if child_states:
+                found_cell = i
+                break
+            i += 1
+
+        if found_cell < 0:
+            # All positions exhausted: backtrack.  Nothing to restart —
+            # cursors are frame-local.
+            stack.pop()
+            if chosen:
+                chosen.pop()
+            continue
+
+        frame.next_cell = found_cell + 1
+        edge = in_list[found_cell]
+        if stats is not None:
+            stats.tree_nodes += 1
+        chosen.append(edge)
+        stack.append(
+            _Frame(
+                src_arr[edge],
+                tuple(sorted(child_states)),
+                frame.remaining - cost_of(edge),
+            )
+        )
+
+
+def _unit_cost(_e: int) -> int:
+    return 1

@@ -1,0 +1,25 @@
+"""Measurement harness shared by ``benchmarks/`` and ``EXPERIMENTS.md``.
+
+* :mod:`repro.bench.harness` — preprocessing timers and the per-output
+  delay recorder that the Theorem 2 experiments rely on;
+* :mod:`repro.bench.reporting` — plain-text table rendering so every
+  benchmark can print the rows recorded in EXPERIMENTS.md.
+"""
+
+from repro.bench.harness import (
+    DelayStats,
+    loglog_slope,
+    measure_delays,
+    measure_preprocessing,
+    time_call,
+)
+from repro.bench.reporting import format_table
+
+__all__ = [
+    "DelayStats",
+    "format_table",
+    "loglog_slope",
+    "measure_delays",
+    "measure_preprocessing",
+    "time_call",
+]

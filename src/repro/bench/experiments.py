@@ -1,0 +1,119 @@
+"""Regenerate the experiment tables behind ``EXPERIMENTS.md``.
+
+Usage::
+
+    python -m repro.bench.experiments                # all experiments
+    python -m repro.bench.experiments -k figure3     # a subset
+    python -m repro.bench.experiments -o tables.txt  # write to a file
+
+Runs the benchmark suites (``pytest benchmarks/ --benchmark-only -s``)
+in a subprocess, extracts every ``## EXP-…`` table from the output,
+and prints (or writes) them in a stable order.  ``EXPERIMENTS.md``
+quotes these tables; re-run this tool after algorithm changes to
+refresh them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import subprocess
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+#: A table starts at '## EXP-…' and runs until a line that is neither
+#: table content nor blank-within-table (pytest progress dots etc.).
+_HEADER = re.compile(r"^## (EXP-[A-Z0-9-]+.*)$")
+
+
+def extract_tables(output: str) -> List[str]:
+    """The ``## EXP-…`` tables of a benchmark run, in output order."""
+    tables: List[str] = []
+    current: Optional[List[str]] = None
+    for line in output.splitlines():
+        if _HEADER.match(line):
+            if current:
+                tables.append("\n".join(current).rstrip())
+            current = [line]
+            continue
+        if current is not None:
+            # Tables end at pytest progress markers: runs of status
+            # characters starting with a dot ('.', '..', '.s' ...),
+            # optionally followed by a percentage annotation.
+            if re.fullmatch(
+                r"\.[.sxEF]*\s*(\[\s*\d+%\])?", line.strip()
+            ):
+                tables.append("\n".join(current).rstrip())
+                current = None
+            else:
+                current.append(line)
+    if current:
+        tables.append("\n".join(current).rstrip())
+    return tables
+
+
+def run_benchmarks(
+    keyword: Optional[str] = None, benchmarks_dir: str = "benchmarks"
+) -> str:
+    """Run the benchmark suites and return their raw stdout."""
+    command = [
+        sys.executable,
+        "-m",
+        "pytest",
+        benchmarks_dir,
+        "--benchmark-only",
+        "--benchmark-disable-gc",
+        "-s",
+        "-q",
+    ]
+    if keyword:
+        command += ["-k", keyword]
+    completed = subprocess.run(
+        command, capture_output=True, text=True, check=False
+    )
+    if completed.returncode not in (0, 5):  # 5 = no tests collected.
+        sys.stderr.write(completed.stdout[-2000:])
+        sys.stderr.write(completed.stderr[-2000:])
+        raise RuntimeError(
+            f"benchmark run failed with exit code {completed.returncode}"
+        )
+    return completed.stdout
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.experiments",
+        description="regenerate the EXPERIMENTS.md tables",
+    )
+    parser.add_argument(
+        "-k", dest="keyword", default=None,
+        help="pytest -k expression selecting a subset of suites",
+    )
+    parser.add_argument(
+        "-o", dest="output", default=None,
+        help="write tables to this file instead of stdout",
+    )
+    parser.add_argument(
+        "--benchmarks-dir", default="benchmarks",
+        help="benchmark suite directory (default: benchmarks)",
+    )
+    args = parser.parse_args(argv)
+
+    raw = run_benchmarks(args.keyword, args.benchmarks_dir)
+    tables = extract_tables(raw)
+    if not tables:
+        print("no experiment tables produced", file=sys.stderr)
+        return 1
+    text = ("\n\n".join(tables)) + "\n"
+    if args.output:
+        Path(args.output).write_text(text, encoding="utf-8")
+        print(f"{len(tables)} table(s) written to {args.output}")
+    else:
+        print(text, end="")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

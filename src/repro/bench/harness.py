@@ -1,0 +1,117 @@
+"""Timing utilities for the complexity experiments.
+
+Enumeration algorithms are judged by *preprocessing time* and *delay*
+(time between consecutive outputs) — see the paper's introduction and
+[21].  :func:`measure_delays` wraps any iterator and records a
+timestamp around every ``next()``, yielding the statistics that the
+EXP-T2-DELAY / EXP-T1 / EXP-T18 experiments compare.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class DelayStats:
+    """Per-output delay statistics for one enumeration run."""
+
+    #: Seconds from iterator creation to the first output.
+    first_output_s: float = 0.0
+    #: Delays between consecutive outputs, in seconds.
+    delays_s: List[float] = field(default_factory=list)
+    #: Number of outputs observed.
+    outputs: int = 0
+
+    @property
+    def max_delay_s(self) -> float:
+        """Worst observed inter-output delay (0 for < 2 outputs)."""
+        return max(self.delays_s, default=0.0)
+
+    @property
+    def mean_delay_s(self) -> float:
+        """Average inter-output delay (0 for < 2 outputs)."""
+        if not self.delays_s:
+            return 0.0
+        return sum(self.delays_s) / len(self.delays_s)
+
+    def percentile_delay_s(self, fraction: float) -> float:
+        """Delay percentile, e.g. ``0.95`` for p95 (0 for < 2 outputs)."""
+        if not self.delays_s:
+            return 0.0
+        ordered = sorted(self.delays_s)
+        index = min(len(ordered) - 1, int(fraction * len(ordered)))
+        return ordered[index]
+
+
+def measure_delays(
+    make_iterator: Callable[[], Iterable],
+    limit: Optional[int] = None,
+) -> DelayStats:
+    """Consume (up to ``limit`` outputs of) an iterator, timing each gap.
+
+    ``make_iterator`` is called inside the timed region so that lazy
+    setup work is charged to the first output, exactly as the
+    enumeration-complexity model prescribes.
+    """
+    stats = DelayStats()
+    started = time.perf_counter()
+    previous = started
+    iterator = iter(make_iterator())
+    for output_index, _ in enumerate(iterator):
+        now = time.perf_counter()
+        if output_index == 0:
+            stats.first_output_s = now - started
+        else:
+            stats.delays_s.append(now - previous)
+        previous = now
+        stats.outputs += 1
+        if limit is not None and stats.outputs >= limit:
+            closer = getattr(iterator, "close", None)
+            if closer is not None:
+                closer()
+            break
+    return stats
+
+
+def measure_preprocessing(preprocess: Callable[[], object]) -> float:
+    """Wall-clock seconds for one preprocessing call."""
+    started = time.perf_counter()
+    preprocess()
+    return time.perf_counter() - started
+
+
+def time_call(fn: Callable[[], object], repeat: int = 3) -> float:
+    """Best-of-``repeat`` wall-clock seconds for ``fn()``."""
+    best = math.inf
+    for _ in range(repeat):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def loglog_slope(
+    xs: Sequence[float], ys: Sequence[float]
+) -> float:
+    """Least-squares slope of log(y) against log(x).
+
+    A slope ≈ 1 confirms linear scaling, ≈ 2 quadratic, ≈ 0
+    independence; the scaling experiments assert ranges around these.
+    """
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("need two sequences of equal length >= 2")
+    log_xs = [math.log(x) for x in xs]
+    log_ys = [math.log(max(y, 1e-12)) for y in ys]
+    mean_x = sum(log_xs) / len(log_xs)
+    mean_y = sum(log_ys) / len(log_ys)
+    sxx = sum((x - mean_x) ** 2 for x in log_xs)
+    sxy = sum(
+        (x - mean_x) * (y - mean_y) for x, y in zip(log_xs, log_ys)
+    )
+    if sxx == 0:
+        raise ValueError("x values are all equal")
+    return sxy / sxx

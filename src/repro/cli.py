@@ -1,0 +1,351 @@
+"""Command-line interface: run RPQ shortest-walk queries on graph files.
+
+Usage (also available as ``python -m repro``)::
+
+    python -m repro query   GRAPH "h* s (h | s)*" Alix Bob
+    python -m repro query   GRAPH "s{1,3}" acct0 --all-targets
+    python -m repro query   GRAPH "train* bus*" Paris Genoa --cheapest
+    python -m repro pattern GRAPH "ALL SHORTEST (Alix)-[:h|:s]->+(Bob)"
+    python -m repro count   GRAPH "h* s (h | s)*" Alix Bob
+    python -m repro plan    GRAPH "(a | b)* c"
+    python -m repro stats   GRAPH
+
+``GRAPH`` is a path to either a JSON database (``save_json``) or the
+line-based edge-list format::
+
+    Alix -> Dan : h, s
+    Dan  -> Eve : h @ 3      # optional cost after '@'
+
+Exit codes: 0 = answers found / info printed, 1 = no matching walk,
+2 = input error (bad file, vertex, or query syntax).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.core.cheapest import DistinctCheapestWalks
+from repro.core.compile import compile_query
+from repro.core.engine import DistinctShortestWalks
+from repro.core.multi_target import MultiTargetShortestWalks
+from repro.exceptions import ReproError
+from repro.graph.database import Graph
+from repro.graph.io import load_edge_list, load_json
+from repro.query import analyze, parse_pattern, rpq
+
+
+def _load_graph(path: str) -> Graph:
+    file_path = Path(path)
+    if not file_path.exists():
+        raise ReproError(f"graph file not found: {path}")
+    if file_path.suffix.lower() == ".json":
+        return load_json(file_path)
+    return load_edge_list(file_path)
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph)
+    query = rpq(args.expression, method=args.construction)
+
+    if args.json:
+        return _query_json(args, graph, query)
+
+    if args.all_targets:
+        multi = MultiTargetShortestWalks(
+            graph, query.automaton, args.source, cheapest=args.cheapest
+        )
+        reached = multi.reached_targets()
+        if not reached:
+            print("no matching walk to any target")
+            return 1
+        for target in reached:
+            name = graph.vertex_name(target)
+            print(f"=== {name} (λ = {multi.lam_for(target)}) ===")
+            for walk in _limited(multi.walks_to(target), args.limit):
+                print(f"  {walk.describe()}")
+        return 0
+
+    if args.target is None:
+        print("error: TARGET is required unless --all-targets is given",
+              file=sys.stderr)
+        return 2
+
+    if args.cheapest:
+        engine = DistinctCheapestWalks(
+            graph, query.automaton, args.source, args.target
+        )
+        cost = engine.cheapest_cost
+        if cost is None:
+            print("no matching walk")
+            return 1
+        print(f"cheapest matching cost: {cost}")
+        walks = engine.enumerate()
+        for walk in _limited(walks, args.limit):
+            print(f"  {walk.describe()}")
+        return 0
+
+    engine = DistinctShortestWalks(
+        graph, query.automaton, args.source, args.target, mode=args.mode
+    )
+    if engine.is_empty:
+        print("no matching walk")
+        return 1
+    print(f"λ = {engine.lam}")
+    if args.multiplicity:
+        for walk, runs in _limited(
+            engine.enumerate_with_multiplicity(), args.limit
+        ):
+            print(f"  [{runs} runs] {walk.describe()}")
+    else:
+        for walk in _limited(engine.enumerate(), args.limit):
+            print(f"  {walk.describe()}")
+    if args.count:
+        print(f"total answers: {engine.count()}")
+    return 0
+
+
+def _query_json(args: argparse.Namespace, graph: Graph, query) -> int:
+    """Machine-readable variant of the query command."""
+    import json
+
+    def take(walks):
+        result = []
+        for i, walk in enumerate(walks):
+            if args.limit is not None and i >= args.limit:
+                break
+            result.append(walk.to_dict())
+        return result
+
+    if args.all_targets:
+        multi = MultiTargetShortestWalks(
+            graph, query.automaton, args.source, cheapest=args.cheapest
+        )
+        payload = {
+            "query": args.expression,
+            "source": args.source,
+            "targets": {
+                str(graph.vertex_name(t)): {
+                    "lam": multi.lam_for(t),
+                    "walks": take(multi.walks_to(t)),
+                }
+                for t in multi.reached_targets()
+            },
+        }
+        print(json.dumps(payload, indent=2))
+        return 0 if payload["targets"] else 1
+
+    if args.target is None:
+        print("error: TARGET is required unless --all-targets is given",
+              file=sys.stderr)
+        return 2
+
+    if args.cheapest:
+        engine = DistinctCheapestWalks(
+            graph, query.automaton, args.source, args.target
+        )
+        lam = engine.cheapest_cost
+        walks = take(engine.enumerate()) if lam is not None else []
+    else:
+        engine = DistinctShortestWalks(
+            graph, query.automaton, args.source, args.target, mode=args.mode
+        )
+        lam = engine.lam
+        walks = take(engine.enumerate()) if lam is not None else []
+    payload = {
+        "query": args.expression,
+        "source": args.source,
+        "target": args.target,
+        "lam": lam,
+        "walks": walks,
+    }
+    print(json.dumps(payload, indent=2))
+    return 0 if lam is not None else 1
+
+
+def _cmd_pattern(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph)
+    pattern = parse_pattern(args.pattern)
+    print(f"compiled RPQ: {pattern.regex}")
+    engine = pattern.engine(graph)
+    if engine.is_empty:
+        print("no matching walk")
+        return 1
+    print(f"λ = {engine.lam}")
+    for walk in _limited(pattern.run(graph), args.limit):
+        print(f"  {walk.describe()}")
+    return 0
+
+
+def _cmd_count(args: argparse.Namespace) -> int:
+    """Answer counts and duplicate-blowup measures, without enumeration."""
+    from repro.automata.ops import remove_epsilon
+    from repro.core.count import (
+        count_shortest_product_paths,
+        count_total_multiplicity,
+    )
+
+    graph = _load_graph(args.graph)
+    query = rpq(args.expression, method=args.construction)
+    engine = DistinctShortestWalks(
+        graph, query.automaton, args.source, args.target
+    )
+    if engine.is_empty:
+        print("no matching walk")
+        return 1
+    answers = engine.count(method="dp")
+    print(f"λ = {engine.lam}")
+    print(f"distinct shortest walks: {answers}")
+
+    automaton = query.automaton
+    if automaton.has_epsilon:
+        automaton = remove_epsilon(automaton)
+    cq = compile_query(graph, automaton)
+    source = graph.resolve_vertex(args.source)
+    target = graph.resolve_vertex(args.target)
+    _, paths = count_shortest_product_paths(cq, source, target)
+    _, mult = count_total_multiplicity(cq, source, target)
+    print(f"shortest product paths:  {paths}"
+          f"  ({paths / answers:.2f} copies/answer for a naive engine)")
+    print(f"total accepting runs:    {mult}")
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph)
+    query = rpq(args.expression, method=args.construction)
+    print(analyze(graph, query.automaton).explain())
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph)
+    for key, value in graph.stats().items():
+        print(f"{key}: {value}")
+    print(f"alphabet: {', '.join(graph.alphabet)}")
+    return 0
+
+
+def _limited(iterable, limit: Optional[int]):
+    if limit is None:
+        yield from iterable
+        return
+    for i, item in enumerate(iterable):
+        if i >= limit:
+            print(f"  ... (stopped after {limit})")
+            break
+        yield item
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Distinct shortest walk enumeration for RPQs "
+        "(PODS 2024 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    query = sub.add_parser("query", help="enumerate matching walks")
+    query.add_argument("graph", help="graph file (.json or edge list)")
+    query.add_argument("expression", help="RPQ regular expression")
+    query.add_argument("source", help="source vertex name")
+    query.add_argument("target", nargs="?", help="target vertex name")
+    query.add_argument(
+        "--mode",
+        choices=["iterative", "recursive", "memoryless", "auto"],
+        default="auto",
+        help="enumeration engine (default: auto)",
+    )
+    query.add_argument(
+        "--construction",
+        choices=["thompson", "glushkov"],
+        default="thompson",
+        help="regex→NFA construction (default: thompson)",
+    )
+    query.add_argument(
+        "--limit", type=int, default=None, help="print at most N walks"
+    )
+    query.add_argument(
+        "--cheapest",
+        action="store_true",
+        help="minimize total edge cost instead of length",
+    )
+    query.add_argument(
+        "--all-targets",
+        action="store_true",
+        help="enumerate to every reachable target (one preprocessing)",
+    )
+    query.add_argument(
+        "--multiplicity",
+        action="store_true",
+        help="print the number of accepting runs per walk",
+    )
+    query.add_argument(
+        "--count", action="store_true", help="print the total answer count"
+    )
+    query.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable JSON instead of text",
+    )
+    query.set_defaults(func=_cmd_query)
+
+    pattern = sub.add_parser(
+        "pattern", help="run a GQL-style path pattern"
+    )
+    pattern.add_argument("graph", help="graph file (.json or edge list)")
+    pattern.add_argument(
+        "pattern",
+        help="path pattern, e.g. \"ALL SHORTEST (a)-[:h|:s]->+(b)\"",
+    )
+    pattern.add_argument(
+        "--limit", type=int, default=None, help="print at most N walks"
+    )
+    pattern.set_defaults(func=_cmd_pattern)
+
+    count = sub.add_parser(
+        "count", help="count answers and duplicate blowup (no enumeration)"
+    )
+    count.add_argument("graph")
+    count.add_argument("expression")
+    count.add_argument("source")
+    count.add_argument("target")
+    count.add_argument(
+        "--construction",
+        choices=["thompson", "glushkov"],
+        default="thompson",
+    )
+    count.set_defaults(func=_cmd_count)
+
+    plan = sub.add_parser("plan", help="explain the chosen algorithm")
+    plan.add_argument("graph")
+    plan.add_argument("expression")
+    plan.add_argument(
+        "--construction",
+        choices=["thompson", "glushkov"],
+        default="thompson",
+    )
+    plan.set_defaults(func=_cmd_plan)
+
+    stats = sub.add_parser("stats", help="print database statistics")
+    stats.add_argument("graph")
+    stats.set_defaults(func=_cmd_stats)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

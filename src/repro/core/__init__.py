@@ -1,0 +1,63 @@
+"""The paper's algorithm: Annotate / Trim / Enumerate and extensions.
+
+Module map (mirrors Figure 2 of the paper):
+
+* :mod:`repro.core.compile` — align an NFA with a database's label ids;
+* :mod:`repro.core.annotate` — the ``Annotate`` BFS (Section 3.1,
+  with Section 5.1's ε-handling built in);
+* :mod:`repro.core.trim` — ``Trim`` (Section 3.2) and ``ResumableTrim``
+  (Section 4.2);
+* :mod:`repro.core.enumerate` — ``Enumerate`` (Section 3.3);
+* :mod:`repro.core.memoryless` — ``NextOutput`` (Theorem 18);
+* :mod:`repro.core.engine` — the ``Main`` orchestration;
+* :mod:`repro.core.cheapest`, :mod:`repro.core.multi_target`,
+  :mod:`repro.core.multiplicity` — the Section 5.3 extensions;
+* :mod:`repro.core.count` — answer counting and duplicate-blowup
+  measures, without enumeration;
+* :mod:`repro.core.simple` — the folklore fast path for deterministic
+  queries on single-labeled data.
+"""
+
+from repro.core.annotate import Annotation, annotate
+from repro.core.cheapest import DistinctCheapestWalks, cheapest_annotate
+from repro.core.compile import CompiledQuery, compile_query
+from repro.core.count import (
+    count_distinct_shortest,
+    count_shortest_product_paths,
+    count_total_multiplicity,
+)
+from repro.core.engine import DistinctShortestWalks, distinct_shortest_walks
+from repro.core.enumerate import enumerate_walks, enumerate_walks_recursive
+from repro.core.memoryless import enumerate_memoryless, next_output
+from repro.core.multi_target import MultiTargetShortestWalks
+from repro.core.multiplicity import count_accepting_runs
+from repro.core.simple import SimpleShortestWalks, simple_eligible
+from repro.core.trim import ResumableAnnotation, TrimmedAnnotation, resumable_trim, trim
+from repro.core.walks import Walk
+
+__all__ = [
+    "Annotation",
+    "CompiledQuery",
+    "DistinctCheapestWalks",
+    "DistinctShortestWalks",
+    "MultiTargetShortestWalks",
+    "ResumableAnnotation",
+    "SimpleShortestWalks",
+    "TrimmedAnnotation",
+    "Walk",
+    "annotate",
+    "cheapest_annotate",
+    "compile_query",
+    "count_accepting_runs",
+    "count_distinct_shortest",
+    "count_shortest_product_paths",
+    "count_total_multiplicity",
+    "distinct_shortest_walks",
+    "enumerate_memoryless",
+    "enumerate_walks",
+    "enumerate_walks_recursive",
+    "next_output",
+    "resumable_trim",
+    "simple_eligible",
+    "trim",
+]

@@ -1,0 +1,236 @@
+"""The ``Annotate`` preprocessing (paper, Figure 2 lines 6-33).
+
+``Annotate`` performs a breadth-first traversal of the product
+``D × A`` and populates, for every vertex ``u``:
+
+* ``L_u`` — for each automaton state ``p``, the length of a shortest
+  walk from ``s`` to ``u`` whose label can take ``A`` from an initial
+  state to ``p`` (Lemma 10(1));
+* ``B_u`` — for each state ``p`` and each in-edge position
+  ``TgtIdx(e)``, the list of *predecessor states* ``q`` witnessing such
+  a shortest walk ending with edge ``e`` (Lemma 10(2)).  Lists may
+  contain duplicates (one entry per firing transition), bounded by
+  ``Σ_a |Δ⁻¹(a, p)|`` (Lemma 10(3)).
+
+The traversal stops at the end of the first BFS level in which the
+target is reached in a final state — that level is λ.  With
+``saturate=True`` it instead runs until no new ``(vertex, state)`` pair
+exists, which is the one-source-to-many-targets mode of Section 5.3.
+
+ε-transitions are eliminated on the fly, following Section 5.1's
+``PossiblyVisit``: whenever a state ``p`` is newly reached at ``u``,
+its ε-successors are reached too, with the *same* predecessor state and
+edge.  (The "already reached at this level" branch deliberately does
+not recurse — see the paper; completeness is preserved because the
+direct target state always ends up in the certificate set.)
+
+Complexity: O(|E| × |Δ|) plus O(|V| × |Δ_ε|) for ε-handling, i.e.
+O(|D| × |A|) overall.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.core.compile import CompiledQuery
+
+#: Per-vertex ``L`` map: state -> length of shortest witness walk.
+LengthMap = Dict[int, int]
+#: Per-vertex ``B`` map: state -> {tgt_idx -> [predecessor states]}.
+BackMap = Dict[int, Dict[int, List[int]]]
+
+
+@dataclass
+class Annotation:
+    """Output of :func:`annotate` (and of the Dijkstra variant).
+
+    ``lam`` is ``None`` when the target was given but no matching walk
+    exists.  For saturated runs (multi-target), per-target values are
+    derived with :meth:`target_info`.
+    """
+
+    source: int
+    target: Optional[int]
+    lam: Optional[int]
+    L: List[LengthMap]
+    B: List[BackMap]
+    target_states: FrozenSet[int]
+    saturated: bool = False
+    #: Number of BFS levels (or Dijkstra settles) executed — diagnostics.
+    steps: int = 0
+    #: Final states of the compiled query (needed for per-target info).
+    final: FrozenSet[int] = field(default_factory=frozenset)
+    #: ε-closure of the initial states (valid run starting points).
+    initial_closure: FrozenSet[int] = field(default_factory=frozenset)
+
+    def target_info(self, t: int) -> Tuple[Optional[int], FrozenSet[int]]:
+        """``(λ_t, S_t)`` for an arbitrary target ``t``.
+
+        ``λ_t`` is the length (cost) of a shortest (cheapest) matching
+        walk from the source to ``t``; ``S_t`` the final states reached
+        at that length.  Only meaningful on saturated annotations or
+        for the annotation's own target.
+        """
+        if t == self.source and (self.initial_closure & self.final):
+            return 0, frozenset(self.initial_closure & self.final)
+        reached = [
+            (self.L[t][f], f) for f in self.final if f in self.L[t]
+        ]
+        if not reached:
+            return None, frozenset()
+        lam_t = min(level for level, _ in reached)
+        return lam_t, frozenset(f for level, f in reached if level == lam_t)
+
+    def annotation_entries(self) -> int:
+        """Total number of predecessor entries stored in ``B``.
+
+        Used by the memory experiment (EXP-MEM) to check Remark 17's
+        O(|E| × |Δ|) bound.
+        """
+        return sum(
+            len(preds)
+            for vertex_map in self.B
+            for cells in vertex_map.values()
+            for preds in cells.values()
+        )
+
+
+def annotate(
+    cq: CompiledQuery,
+    source: int,
+    target: Optional[int] = None,
+    saturate: bool = False,
+) -> Annotation:
+    """Run the ``Annotate`` BFS for query ``cq`` from ``source``.
+
+    With a ``target``, stops at the end of level λ (the first level
+    reaching the target in a final state); with ``saturate=True`` (or
+    no target) runs to exhaustion of the reachable product.
+    """
+    graph = cq.graph
+    n = graph.vertex_count
+    out = graph.out_array
+    tgt_arr = graph.tgt_array
+    ti_arr = graph.tgt_idx_array
+    labels_arr = graph.label_array
+    delta = cq.delta
+    eps = cq.eps
+    has_eps = cq.has_eps
+    final = cq.final
+
+    L: List[LengthMap] = [{} for _ in range(n)]
+    B: List[BackMap] = [{} for _ in range(n)]
+
+    next_pairs: List[Tuple[int, int]] = []
+    source_map = L[source]
+    for p in sorted(cq.initial_closure):
+        source_map[p] = 0
+        next_pairs.append((source, p))
+
+    # λ = 0 edge case: the trivial walk ⟨s⟩ matches iff ε ∈ L(A).
+    if (
+        target is not None
+        and target == source
+        and (cq.initial_closure & final)
+        and not saturate
+    ):
+        return Annotation(
+            source=source,
+            target=target,
+            lam=0,
+            L=L,
+            B=B,
+            target_states=frozenset(cq.initial_closure & final),
+            final=final,
+            initial_closure=cq.initial_closure,
+        )
+
+    stop = False
+    level = 0
+    while next_pairs and not stop:
+        level += 1
+        current, next_pairs = next_pairs, []
+        for v, q in current:
+            dq = delta[q]
+            for e in out[v]:
+                u = tgt_arr[e]
+                level_map = L[u]
+                back_map = B[u]
+                ti = ti_arr[e]
+                for a in labels_arr[e]:
+                    targets = dq.get(a)
+                    if not targets:
+                        continue
+                    for p in targets:
+                        known = level_map.get(p)
+                        if known is None:
+                            # First time state p is reached at vertex u.
+                            level_map[p] = level
+                            next_pairs.append((u, p))
+                            if u == target and p in final and not saturate:
+                                stop = True
+                            back_map.setdefault(p, {}).setdefault(
+                                ti, []
+                            ).append(q)
+                            if has_eps and eps[p]:
+                                # PossiblyVisit: ε-closure with the same
+                                # predecessor q and edge e.
+                                stack = list(eps[p])
+                                while stack:
+                                    r = stack.pop()
+                                    known_r = level_map.get(r)
+                                    if known_r is None:
+                                        level_map[r] = level
+                                        next_pairs.append((u, r))
+                                        if (
+                                            u == target
+                                            and r in final
+                                            and not saturate
+                                        ):
+                                            stop = True
+                                        back_map.setdefault(r, {}).setdefault(
+                                            ti, []
+                                        ).append(q)
+                                        stack.extend(eps[r])
+                                    elif known_r == level:
+                                        back_map[r].setdefault(ti, []).append(
+                                            q
+                                        )
+                        elif known == level:
+                            # Another walk of the same (minimal) length
+                            # reaches p at u: record the extra witness.
+                            back_map[p].setdefault(ti, []).append(q)
+
+    if target is not None and not saturate:
+        if stop:
+            lam: Optional[int] = level
+            target_states = frozenset(
+                f for f in final if L[target].get(f) == level
+            )
+        else:
+            lam, target_states = None, frozenset()
+        return Annotation(
+            source=source,
+            target=target,
+            lam=lam,
+            L=L,
+            B=B,
+            target_states=target_states,
+            steps=level,
+            final=final,
+            initial_closure=cq.initial_closure,
+        )
+
+    return Annotation(
+        source=source,
+        target=target,
+        lam=None,
+        L=L,
+        B=B,
+        target_states=frozenset(),
+        saturated=True,
+        steps=level,
+        final=final,
+        initial_closure=cq.initial_closure,
+    )

@@ -1,0 +1,311 @@
+"""Distinct Cheapest Walks (paper, Section 5.3).
+
+Edges carry strictly positive integer costs; the problem asks for all
+walks from ``s`` to ``t`` matching ``A`` of **minimal total cost**,
+each exactly once.  The paper's recipe: replace the BFS of ``Annotate``
+with a cheapest-first (Dijkstra) traversal of ``D × A``; ``Trim`` and
+``Enumerate`` are unchanged, except that the enumeration tracks a
+remaining *cost budget* instead of a remaining length (which
+:func:`repro.core.enumerate.enumerate_walks` already supports).
+
+Preprocessing: O(|D|×|A| + |V|×|Q|×(log|V| + log|Q|)) with a binary
+heap; delay unchanged at O(λ_e × |A|) where λ_e is the maximal *edge
+count* of a cheapest walk (λ_e ≤ λ for integer costs ≥ 1).
+
+Costs must be positive: zero-cost cycles would make the answer set
+infinite, and exact budget arithmetic requires integers (float
+rounding would corrupt the leaf test ``budget == 0``).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
+
+from repro.core.annotate import Annotation, BackMap, LengthMap
+from repro.core.compile import CompiledQuery, compile_query
+from repro.core.enumerate import enumerate_walks
+from repro.core.trim import TrimmedAnnotation, trim
+from repro.core.walks import Walk
+from repro.datastructures.pairing_heap import HeapNode, PairingHeap
+from repro.exceptions import CostError, QueryError
+from repro.graph.database import Graph
+
+_HEAPS = ("binary", "pairing")
+
+
+class _LazyBinaryQueue:
+    """``heapq`` with duplicate entries; the caller skips stale pops."""
+
+    __slots__ = ("_heap",)
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[int, int, int]] = []
+
+    def update(self, cost: int, v: int, q: int) -> None:
+        heapq.heappush(self._heap, (cost, v, q))
+
+    def pop(self) -> Tuple[int, int, int]:
+        return heapq.heappop(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+
+class _PairingQueue:
+    """Pairing heap with one live node per ``(v, q)`` (decrease-key).
+
+    No stale entries are ever popped, matching the Fredman–Tarjan
+    accounting the paper cites for the Dijkstra variant.
+    """
+
+    __slots__ = ("_heap", "_handles")
+
+    def __init__(self) -> None:
+        self._heap: PairingHeap[int, Tuple[int, int]] = PairingHeap()
+        self._handles: Dict[Tuple[int, int], HeapNode] = {}
+
+    def update(self, cost: int, v: int, q: int) -> None:
+        node = self._handles.get((v, q))
+        if node is None:
+            self._handles[(v, q)] = self._heap.push(cost, (v, q))
+        elif cost < node.key:
+            self._heap.decrease_key(node, cost)
+
+    def pop(self) -> Tuple[int, int, int]:
+        cost, (v, q) = self._heap.pop()
+        del self._handles[(v, q)]
+        return cost, v, q
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+
+def cheapest_annotate(
+    cq: CompiledQuery,
+    source: int,
+    target: Optional[int] = None,
+    saturate: bool = False,
+    heap: str = "binary",
+) -> Annotation:
+    """Dijkstra-flavoured ``Annotate``: ``L`` maps hold minimal *costs*.
+
+    ``B`` keeps, per ``(u, p, TgtIdx(e))``, the predecessor states of
+    *cost-minimal* walks ending with ``e`` — entries recorded for a
+    previously-better estimate are discarded on improvement, so Lemma
+    10's characterization carries over with "length" read as "cost".
+
+    ``heap`` selects the priority queue: ``"binary"`` (lazy-deletion
+    ``heapq``, the pragmatic default) or ``"pairing"`` (decrease-key
+    pairing heap, one live entry per product node — the structure the
+    paper's Fredman–Tarjan citation presumes).  Both produce the same
+    annotation content.
+    """
+    if heap not in _HEAPS:
+        raise QueryError(f"unknown heap {heap!r}; expected one of {_HEAPS}")
+    graph = cq.graph
+    for e in graph.edges():
+        if graph.cost(e) <= 0:
+            raise CostError(f"edge {e} has non-positive cost {graph.cost(e)}")
+
+    n = graph.vertex_count
+    out = graph.out_array
+    tgt_arr = graph.tgt_array
+    ti_arr = graph.tgt_idx_array
+    labels_arr = graph.label_array
+    cost_arr = graph.cost_array
+    delta = cq.delta
+    eps = cq.eps
+    has_eps = cq.has_eps
+    final = cq.final
+
+    L: List[LengthMap] = [{} for _ in range(n)]
+    B: List[BackMap] = [{} for _ in range(n)]
+    settled: List[set] = [set() for _ in range(n)]
+
+    queue = _PairingQueue() if heap == "pairing" else _LazyBinaryQueue()
+    for p in sorted(cq.initial_closure):
+        L[source][p] = 0
+        queue.update(0, source, p)
+
+    lam: Optional[int] = None
+    if target is not None and target == source and (cq.initial_closure & final):
+        lam = 0  # Trivial walk ⟨s⟩ of cost 0.
+
+    def reach(u: int, p: int, via_q: int, ti: int, cost: int) -> None:
+        """Relax (u, p) at ``cost`` with witness (via_q, edge at ti)."""
+        known = L[u].get(p)
+        if known is None or cost < known:
+            L[u][p] = cost
+            # Better estimate: all previously recorded witnesses
+            # belonged to costlier walks — discard them.
+            B[u][p] = {ti: [via_q]}
+            queue.update(cost, u, p)
+        elif cost == known:
+            B[u].setdefault(p, {}).setdefault(ti, []).append(via_q)
+
+    steps = 0
+    while queue and lam != 0:
+        cost, v, q = queue.pop()
+        if q in settled[v] or L[v].get(q) != cost:
+            continue  # Stale heap entry.
+        if lam is not None and cost > lam and not saturate:
+            break  # Everything at distance ≤ λ is settled.
+        settled[v].add(q)
+        steps += 1
+        if target is not None and v == target and q in final and lam is None:
+            lam = cost
+            if not saturate:
+                # Keep draining entries of cost ≤ λ so that equal-cost
+                # witnesses into the target are all recorded.
+                continue
+        dq = delta[q]
+        for e in out[v]:
+            u = tgt_arr[e]
+            new_cost = cost + cost_arr[e]
+            if lam is not None and new_cost > lam and not saturate:
+                continue
+            ti = ti_arr[e]
+            for a in labels_arr[e]:
+                targets = dq.get(a)
+                if not targets:
+                    continue
+                for p in targets:
+                    reach(u, p, q, ti, new_cost)
+                    if has_eps and eps[p]:
+                        stack = list(eps[p])
+                        seen = set(eps[p])
+                        while stack:
+                            r = stack.pop()
+                            reach(u, r, q, ti, new_cost)
+                            for r2 in eps[r]:
+                                if r2 not in seen:
+                                    seen.add(r2)
+                                    stack.append(r2)
+
+    if target is not None and not saturate:
+        if lam == 0:
+            target_states: FrozenSet[int] = frozenset(
+                cq.initial_closure & final
+            )
+        elif lam is not None:
+            target_states = frozenset(
+                f for f in final if L[target].get(f) == lam
+            )
+        else:
+            target_states = frozenset()
+        return Annotation(
+            source=source,
+            target=target,
+            lam=lam,
+            L=L,
+            B=B,
+            target_states=target_states,
+            steps=steps,
+            final=final,
+            initial_closure=cq.initial_closure,
+        )
+    return Annotation(
+        source=source,
+        target=target,
+        lam=None,
+        L=L,
+        B=B,
+        target_states=frozenset(),
+        saturated=True,
+        steps=steps,
+        final=final,
+        initial_closure=cq.initial_closure,
+    )
+
+
+class DistinctCheapestWalks:
+    """User-facing driver for the Distinct Cheapest Walks extension.
+
+    >>> from repro.graph import GraphBuilder
+    >>> from repro.automata import regex_to_nfa
+    >>> b = GraphBuilder()
+    >>> _ = b.add_edge("a", "b", ["x"], cost=3)
+    >>> _ = b.add_edge("a", "b", ["x"], cost=2)
+    >>> engine = DistinctCheapestWalks(b.build(), regex_to_nfa("x"), "a", "b")
+    >>> [w.cost() for w in engine.enumerate()]
+    [2]
+    """
+
+    def __init__(
+        self, graph: Graph, query, source, target, heap: str = "binary"
+    ) -> None:
+        from repro.core._query_input import as_nfa
+
+        if heap not in _HEAPS:
+            raise QueryError(
+                f"unknown heap {heap!r}; expected one of {_HEAPS}"
+            )
+        self.graph = graph
+        self.source = graph.resolve_vertex(source)
+        self.target = graph.resolve_vertex(target)
+        self.automaton = as_nfa(query)
+        self.heap = heap
+        self._cq = compile_query(graph, self.automaton)
+        self._annotation: Optional[Annotation] = None
+        self._trimmed: Optional[TrimmedAnnotation] = None
+
+    def preprocess(self) -> "DistinctCheapestWalks":
+        """Run the Dijkstra annotation and trim; idempotent."""
+        if self._annotation is None:
+            self._annotation = cheapest_annotate(
+                self._cq, self.source, self.target, heap=self.heap
+            )
+            self._trimmed = trim(self.graph, self._annotation)
+        return self
+
+    @property
+    def cheapest_cost(self) -> Optional[int]:
+        """Minimal matching walk cost (``None`` when no walk matches)."""
+        self.preprocess()
+        assert self._annotation is not None
+        return self._annotation.lam
+
+    def enumerate(self) -> Iterator[Walk]:
+        """Enumerate all distinct cheapest matching walks."""
+        self.preprocess()
+        assert self._annotation is not None and self._trimmed is not None
+        cost_arr = self.graph.cost_array
+        return enumerate_walks(
+            self.graph,
+            self._trimmed,
+            self._annotation.lam,
+            self.target,
+            self._annotation.target_states,
+            cost_of=lambda e: cost_arr[e],
+        )
+
+    def __iter__(self) -> Iterator[Walk]:
+        return self.enumerate()
+
+    def count(self, method: str = "enumerate") -> int:
+        """Number of distinct cheapest walks.
+
+        ``method="dp"`` counts via the backward-tree dynamic program
+        (cost-budgeted), without enumerating.
+        """
+        if method == "dp":
+            from repro.core.count import count_distinct_shortest
+
+            self.preprocess()
+            assert self._annotation is not None
+            cost_arr = self.graph.cost_array
+            return count_distinct_shortest(
+                self.graph,
+                self._annotation,
+                self._annotation.lam,
+                self.target,
+                self._annotation.target_states,
+                cost_of=lambda e: cost_arr[e],
+            )
+        if method != "enumerate":
+            raise QueryError(
+                f"unknown count method {method!r}; "
+                "expected 'enumerate' or 'dp'"
+            )
+        return sum(1 for _ in self.enumerate())

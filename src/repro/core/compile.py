@@ -1,0 +1,173 @@
+"""Query compilation: align an NFA with a database's label interning.
+
+The paper assumes (Section 2.3) that ``Δ(q, a)`` is an O(1) lookup
+returning a duplicate-free list.  Databases intern labels to dense
+integer ids, so before running the algorithm we re-key the automaton's
+transition table by label *id*.  This step also:
+
+* drops transitions on labels that no edge of the database carries
+  (they can never fire, and keeping them would only slow the BFS);
+* expands :data:`~repro.automata.nfa.ANY` wildcards over the database's
+  concrete alphabet;
+* ε-closes the transition relation (``Δ'(q, a) = closure(Δ(q, a))``,
+  start states = ``closure(I)``), unless ``eliminate_epsilon=False``.
+
+Compilation is O(|A|·|Q| + wildcard expansion); it never touches the
+database, preserving the O(|D| × |A|) preprocessing bound.
+
+A note on ε-handling (deviation from the paper's Section 5.1).  The
+paper eliminates ε on the fly inside ``Annotate`` via ``PossiblyVisit``
+and claims no extra cost.  Transcribed literally, that routine only
+propagates predecessor entries through ε-closures when a state is
+reached *for the first time* at a BFS level; when the same direct
+target is re-reached at the same level through a different edge, its
+ε-successors — in particular final states of a Thompson automaton —
+never learn about the new edge, and the enumeration silently drops
+answers (``tests/core/test_epsilon.py`` contains the regression).  We
+therefore ε-close the relation here, at query-compile time: this is
+equivalent to running the ε-free algorithm on the ε-eliminated
+automaton, costs nothing per database, and inflates |Δ| by at most a
+factor |Q| in the worst case.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.automata.nfa import ANY, EPSILON, NFA
+from repro.exceptions import QueryError
+from repro.graph.database import Graph
+
+
+class CompiledQuery:
+    """An NFA re-keyed to a specific database's label ids.
+
+    Attributes mirror the paper's automaton tuple:
+
+    * ``n_states`` — |Q|;
+    * ``initial`` — I (as given);
+    * ``initial_closure`` — ε-closure of I, the states a run may start
+      in;
+    * ``final`` — F;
+    * ``delta`` — per-state dict: label id → tuple of successor states;
+    * ``eps`` — per-state tuple of ε-successors;
+    * ``delta_size`` — |Δ| after compilation (counts expanded wildcard
+      transitions and ε-transitions).
+    """
+
+    __slots__ = (
+        "graph",
+        "automaton",
+        "n_states",
+        "initial",
+        "initial_closure",
+        "final",
+        "delta",
+        "eps",
+        "has_eps",
+        "delta_size",
+    )
+
+    def __init__(
+        self,
+        graph: Graph,
+        automaton: NFA,
+        n_states: int,
+        initial: Tuple[int, ...],
+        initial_closure: FrozenSet[int],
+        final: FrozenSet[int],
+        delta: Tuple[Dict[int, Tuple[int, ...]], ...],
+        eps: Tuple[Tuple[int, ...], ...],
+    ) -> None:
+        self.graph = graph
+        self.automaton = automaton
+        self.n_states = n_states
+        self.initial = initial
+        self.initial_closure = initial_closure
+        self.final = final
+        self.delta = delta
+        self.eps = eps
+        self.has_eps = any(eps)
+        self.delta_size = sum(
+            len(ts) for d in delta for ts in d.values()
+        ) + sum(len(es) for es in eps)
+
+    def size(self) -> int:
+        """The compiled ``|A| = |Q| + |Δ|`` (alphabet shared with D)."""
+        return self.n_states + self.delta_size
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledQuery(|Q|={self.n_states}, |Δ|={self.delta_size}, "
+            f"ε={'yes' if self.has_eps else 'no'})"
+        )
+
+
+def compile_query(
+    graph: Graph, automaton: NFA, eliminate_epsilon: bool = True
+) -> CompiledQuery:
+    """Compile ``automaton`` for execution against ``graph``.
+
+    With ``eliminate_epsilon=True`` (the default) the compiled ``delta``
+    is ε-closed and ``eps`` is empty — see the module docstring for why.
+    Raises :class:`~repro.exceptions.QueryError` when the automaton has
+    no states or no initial state (such queries match nothing and are
+    almost always caller bugs).
+    """
+    if automaton.n_states == 0 or not automaton.initial:
+        raise QueryError("query automaton has no initial state")
+
+    n = automaton.n_states
+    all_label_ids = tuple(range(graph.label_count))
+    delta_sets: List[Dict[int, set]] = [{} for _ in range(n)]
+    eps_lists: List[List[int]] = [[] for _ in range(n)]
+
+    for q in automaton.states():
+        for label, targets in automaton.transitions_from(q):
+            if label is EPSILON:
+                # Duplicate-free by NFA invariant.
+                eps_lists[q].extend(targets)
+            elif label is ANY:
+                for a in all_label_ids:
+                    delta_sets[q].setdefault(a, set()).update(targets)
+            else:
+                if graph.has_label(label):
+                    a = graph.label_id(label)
+                    delta_sets[q].setdefault(a, set()).update(targets)
+
+    if eliminate_epsilon and any(eps_lists):
+        # Per-state ε-closures, O(|Q| × |Δ_ε|) once per query.
+        closures: List[Tuple[int, ...]] = []
+        for q in range(n):
+            seen = {q}
+            stack = [q]
+            while stack:
+                state = stack.pop()
+                for nxt in eps_lists[state]:
+                    if nxt not in seen:
+                        seen.add(nxt)
+                        stack.append(nxt)
+            closures.append(tuple(seen))
+        for d in delta_sets:
+            for a, targets in d.items():
+                closed = set(targets)
+                for p in targets:
+                    closed.update(closures[p])
+                d[a] = closed
+        eps_lists = [[] for _ in range(n)]
+
+    delta: Tuple[Dict[int, Tuple[int, ...]], ...] = tuple(
+        {a: tuple(sorted(ts)) for a, ts in d.items()} for d in delta_sets
+    )
+    eps = tuple(tuple(es) for es in eps_lists)
+
+    return CompiledQuery(
+        graph=graph,
+        automaton=automaton,
+        n_states=n,
+        initial=tuple(sorted(automaton.initial)),
+        initial_closure=automaton.eps_closure(automaton.initial),
+        final=automaton.final,
+        delta=delta,
+        eps=eps,
+    )

@@ -1,0 +1,200 @@
+"""Memoryless enumeration — ``NextOutput`` (paper, Section 4.2, Thm 18).
+
+A *memoryless* enumeration algorithm computes the (i+1)-th output from
+the i-th output and the (read-only) precomputed structures alone; no
+cursor state survives between outputs.  The paper obtains this by
+replacing the queues ``C_u[p]`` with skip-indexed arrays
+(``ResumableTrim``) that can be *seeked* in O(1): given the previous
+output ``w``, a guided descent re-positions local integer cursors along
+``w``'s path in the backward-search tree, then the ordinary DFS resumes
+and produces exactly the next leaf.
+
+The output sequence is identical to
+:func:`repro.core.enumerate.enumerate_walks`; the delay remains
+O(λ × |A|) (Theorem 18) because seeking is O(1) per (frame, state).
+
+Key cursor invariant (matching the eager enumerator): when the DFS has
+descended into edge ``e`` from a frame at vertex ``u``, every queue of
+that frame is positioned at its first non-empty cell with
+``TgtIdx > TgtIdx(e)`` — queues consume cells in globally increasing
+``TgtIdx`` order, so the guided descent can restore all cursors with a
+single ``after(TgtIdx(e))`` per state.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.trim import ResumableAnnotation
+from repro.core.walks import Walk
+from repro.graph.database import Graph
+
+CostFn = Callable[[int], int]
+
+
+def _unit_cost(_e: int) -> int:
+    return 1
+
+
+class _Frame:
+    """One level of the (per-call, local) DFS stack."""
+
+    __slots__ = ("vertex", "states", "cursors", "via_edge", "remaining")
+
+    def __init__(
+        self,
+        vertex: int,
+        states: Tuple[int, ...],
+        cursors: Dict[int, Optional[int]],
+        via_edge: Optional[int],
+        remaining: int,
+    ) -> None:
+        self.vertex = vertex
+        self.states = states
+        self.cursors = cursors
+        self.via_edge = via_edge
+        self.remaining = remaining
+
+
+def _fresh_cursors(
+    resumable: ResumableAnnotation, vertex: int, states: Tuple[int, ...]
+) -> Dict[int, Optional[int]]:
+    cursors: Dict[int, Optional[int]] = {}
+    for p in states:
+        index = resumable.for_state(vertex, p)
+        cursors[p] = None if index is None else index.first()
+    return cursors
+
+
+def next_output(
+    graph: Graph,
+    resumable: ResumableAnnotation,
+    budget: Optional[int],
+    target: int,
+    start_states: FrozenSet[int],
+    previous_edges: Optional[Sequence[int]] = None,
+    cost_of: Optional[CostFn] = None,
+) -> Optional[Walk]:
+    """Compute the output following ``previous_edges`` (or the first).
+
+    ``previous_edges`` is the edge sequence of the previously returned
+    walk (source → target order); ``None`` requests the first output.
+    Returns ``None`` when the enumeration is finished.  The shared
+    ``resumable`` structure is never mutated.
+    """
+    if budget is None or not start_states:
+        return None
+    if budget == 0:
+        # Single trivial answer ⟨t⟩; it has no successor.
+        return None if previous_edges is not None else Walk(graph, (), start=target)
+    if cost_of is None:
+        cost_of = _unit_cost
+
+    ti_arr = graph.tgt_idx_array
+    src_arr = graph.src_array
+    in_arr = graph.in_array
+
+    root_states = tuple(sorted(start_states))
+    frames: List[_Frame] = [
+        _Frame(target, root_states, {}, None, budget)
+    ]
+
+    if previous_edges is None:
+        # First call: fresh cursors at the root, then plain DFS below.
+        frames[0].cursors = _fresh_cursors(resumable, target, root_states)
+    else:
+        # Guided descent along the previous output (read from the
+        # target side, since T is a backward-search tree).
+        for e in reversed(list(previous_edges)):
+            frame = frames[-1]
+            u = frame.vertex
+            cell = ti_arr[e]
+            child_states_set = set()
+            cursors: Dict[int, Optional[int]] = {}
+            for p in frame.states:
+                index = resumable.for_state(u, p)
+                if index is None:
+                    cursors[p] = None
+                    continue
+                payload = index.payload(cell)
+                if payload is not None:
+                    child_states_set.update(payload)
+                # Invariant: after descending into e, this frame's
+                # cursors all sit strictly past TgtIdx(e).
+                cursors[p] = index.after(cell)
+            frame.cursors = cursors
+            frames.append(
+                _Frame(
+                    src_arr[e],
+                    tuple(sorted(child_states_set)),
+                    {},
+                    e,
+                    frame.remaining - cost_of(e),
+                )
+            )
+        # The guided leaf *is* the previous output: skip it.
+        frames.pop()
+
+    # Ordinary DFS, resumed from the reconstructed stack.
+    while frames:
+        frame = frames[-1]
+        if frame.remaining == 0:
+            return Walk(
+                graph,
+                tuple(f.via_edge for f in reversed(frames) if f.via_edge is not None),
+            )
+        u = frame.vertex
+        emin_cell = -1
+        for p in frame.states:
+            cell = frame.cursors.get(p)
+            if cell is not None and (emin_cell < 0 or cell < emin_cell):
+                emin_cell = cell
+        if emin_cell < 0:
+            frames.pop()
+            continue
+        emin = in_arr[u][emin_cell]
+        child_states_set = set()
+        for p in frame.states:
+            if frame.cursors.get(p) == emin_cell:
+                index = resumable.for_state(u, p)
+                payload = index.payload(emin_cell)
+                if payload is not None:
+                    child_states_set.update(payload)
+                frame.cursors[p] = index.after(emin_cell)
+        child_states = tuple(sorted(child_states_set))
+        child_vertex = src_arr[emin]
+        frames.append(
+            _Frame(
+                child_vertex,
+                child_states,
+                _fresh_cursors(resumable, child_vertex, child_states),
+                emin,
+                frame.remaining - cost_of(emin),
+            )
+        )
+    return None
+
+
+def enumerate_memoryless(
+    graph: Graph,
+    resumable: ResumableAnnotation,
+    budget: Optional[int],
+    target: int,
+    start_states: FrozenSet[int],
+    cost_of: Optional[CostFn] = None,
+) -> Iterator[Walk]:
+    """Generator facade over :func:`next_output`.
+
+    Each step forgets everything except the previous walk — the
+    generator exists purely for caller convenience and can be resumed
+    from any output by calling :func:`next_output` directly.
+    """
+    if budget == 0 and start_states:
+        yield Walk(graph, (), start=target)
+        return
+    walk = next_output(graph, resumable, budget, target, start_states, None, cost_of)
+    while walk is not None:
+        yield walk
+        walk = next_output(
+            graph, resumable, budget, target, start_states, walk.edges, cost_of
+        )

@@ -1,0 +1,160 @@
+"""The ``Trim`` preprocessing (paper, Figure 2 lines 34-41) and the
+``ResumableTrim`` variant (Section 4.2, lines 67-76).
+
+``Trim`` converts every ``B_u[p]`` map into a queue ``C_u[p]`` of pairs
+``(e, X)`` — only the edges whose predecessor list ``X`` is non-empty —
+sorted by increasing ``TgtIdx(e)`` (Lemma 11).  The sort order is what
+lets ``Enumerate`` find the next child edge by looking only at queue
+heads, keeping the delay independent of the database's in-degrees.
+
+``ResumableTrim`` instead produces, per ``(u, p)``, a read-only
+skip-indexed array (:class:`~repro.datastructures.ResumableIndex`)
+supporting O(1) "first non-empty cell ≥ i" queries.  This is the
+structure that makes the *memoryless* enumeration of Theorem 18
+possible: cursors become plain integers local to each call and the
+shared structure is never mutated.
+
+Both run in O(|E| × |Q|) ⊆ O(|D| × |A|).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.annotate import Annotation
+from repro.datastructures.resumable_index import ResumableIndex
+from repro.datastructures.restartable_queue import RestartableQueue
+from repro.graph.database import Graph
+
+#: Queue elements: (edge id, tuple of predecessor states).
+QueueItem = Tuple[int, Tuple[int, ...]]
+
+
+class TrimmedAnnotation:
+    """The family of queues ``C_u[p]`` produced by ``Trim``.
+
+    ``queues[u]`` maps each state ``p`` with at least one non-empty
+    cell to a :class:`RestartableQueue` of ``(e, X)`` pairs in
+    increasing ``TgtIdx(e)`` order.  States without entries simply have
+    no queue — equivalent to the paper's empty queues.
+
+    The queue cursors are *shared mutable state*: two enumerations
+    running over the same trimmed annotation at the same time would
+    corrupt each other.  Enumerators therefore :meth:`acquire` the
+    structure while active (released — and restarted — when the
+    iterator finishes or is closed); a second concurrent acquisition
+    raises :class:`~repro.exceptions.EnumerationStateError`.  The
+    read-only :class:`ResumableAnnotation` has no such restriction.
+    """
+
+    __slots__ = ("queues", "_active")
+
+    def __init__(
+        self, queues: List[Dict[int, RestartableQueue]]
+    ) -> None:
+        self.queues = queues
+        self._active = False
+
+    def queue(self, u: int, p: int) -> Optional[RestartableQueue]:
+        """``C_u[p]``, or ``None`` when it is empty."""
+        return self.queues[u].get(p)
+
+    def acquire(self) -> None:
+        """Mark an enumeration as running over this structure.
+
+        Raises :class:`~repro.exceptions.EnumerationStateError` when
+        another enumeration is already active: interleaving two walks
+        over the same cursors would silently skip or repeat answers.
+        """
+        if self._active:
+            from repro.exceptions import EnumerationStateError
+
+            raise EnumerationStateError(
+                "an enumeration is already running over this trimmed "
+                "annotation; exhaust or close() it first (the "
+                "memoryless mode supports concurrent enumerations)"
+            )
+        self._active = True
+
+    def restart_all(self) -> None:
+        """Reset every queue cursor and release the structure — used
+        when an enumeration finishes or is abandoned mid-way, so the
+        shared structure is never left dirty."""
+        for per_vertex in self.queues:
+            for queue in per_vertex.values():
+                queue.restart()
+        self._active = False
+
+    def total_items(self) -> int:
+        """Number of stored (e, X) pairs — for the memory experiment."""
+        return sum(
+            len(queue) for per_vertex in self.queues
+            for queue in per_vertex.values()
+        )
+
+
+def trim(graph: Graph, annotation: Annotation) -> TrimmedAnnotation:
+    """Build the ``C`` queues from an annotation's ``B`` maps.
+
+    For every vertex ``u`` and state ``p``, enqueue the pairs
+    ``(e, B_u[p][TgtIdx(e)])`` for non-empty cells, in increasing
+    ``TgtIdx`` order (Lemma 11).  Predecessor lists are frozen to
+    tuples: the enumeration phase must never mutate them.
+    """
+    in_array = graph.in_array
+    queues: List[Dict[int, RestartableQueue]] = []
+    for u in graph.vertices():
+        in_list = in_array[u]
+        per_state: Dict[int, RestartableQueue] = {}
+        for p, cells in annotation.B[u].items():
+            # Iterating positions in sorted order is equivalent to the
+            # paper's In(u) scan and O(k log k) for k non-empty cells
+            # (the paper's scan is O(InDeg(u)); both are within the
+            # O(|E| × |Q|) total budget).
+            items: List[QueueItem] = [
+                (in_list[i], tuple(cells[i])) for i in sorted(cells)
+            ]
+            if items:
+                per_state[p] = RestartableQueue(items)
+        queues.append(per_state)
+    return TrimmedAnnotation(queues)
+
+
+class ResumableAnnotation:
+    """The read-only skip-indexed form of ``C`` (paper lines 67-76).
+
+    ``index[u][p]`` is a :class:`ResumableIndex` over the cells
+    ``0 .. InDeg(u)-1``; the payload of cell ``i`` is the (non-empty)
+    tuple of predecessor states ``B_u[p][i]``.  Missing states mean
+    "all cells empty".
+    """
+
+    __slots__ = ("index",)
+
+    def __init__(self, index: List[Dict[int, ResumableIndex]]) -> None:
+        self.index = index
+
+    def for_state(self, u: int, p: int) -> Optional[ResumableIndex]:
+        """The skip index of ``(u, p)``, or ``None`` when empty."""
+        return self.index[u].get(p)
+
+    def total_items(self) -> int:
+        """Number of stored cells — for the memory experiment."""
+        return sum(
+            len(idx) for per_vertex in self.index
+            for idx in per_vertex.values()
+        )
+
+
+def resumable_trim(graph: Graph, annotation: Annotation) -> ResumableAnnotation:
+    """Build the ``ResumableTrim`` structure from an annotation."""
+    index: List[Dict[int, ResumableIndex]] = []
+    for u in graph.vertices():
+        in_degree = graph.in_degree(u)
+        per_state: Dict[int, ResumableIndex] = {}
+        for p, cells in annotation.B[u].items():
+            payloads = {i: tuple(preds) for i, preds in cells.items() if preds}
+            if payloads:
+                per_state[p] = ResumableIndex(in_degree, payloads)
+        index.append(per_state)
+    return ResumableAnnotation(index)

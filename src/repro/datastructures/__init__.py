@@ -1,0 +1,35 @@
+"""The collection data structures of the paper's Section 2.1.
+
+The complexity bounds of the enumeration algorithm hinge on using the
+right structure at each step:
+
+* :class:`~repro.datastructures.cons_list.ConsList` — immutable
+  singly-linked lists with O(1) prepend and O(1) copy (sharing), used
+  for walk prefixes during the recursive enumeration;
+* :class:`~repro.datastructures.restartable_queue.RestartableQueue` —
+  queues with O(1) enqueue / peek / advance / restart, used for the
+  trimmed annotation ``C``;
+* :class:`~repro.datastructures.resumable_index.ResumableIndex` — the
+  skip-pointer array of the paper's ``ResumableTrim`` (Section 4.2),
+  which supports O(1) "seek to the first non-empty cell ≥ i" and makes
+  the memoryless variant of the algorithm possible;
+* :class:`~repro.datastructures.pairing_heap.PairingHeap` — a
+  decrease-key priority queue for the Dijkstra traversal of the
+  Distinct Cheapest Walks extension (Section 5.3 cites Fredman–Tarjan;
+  pairing heaps are the practical equivalent).
+"""
+
+from repro.datastructures.cons_list import ConsList, cons, nil
+from repro.datastructures.pairing_heap import HeapNode, PairingHeap
+from repro.datastructures.restartable_queue import RestartableQueue
+from repro.datastructures.resumable_index import ResumableIndex
+
+__all__ = [
+    "ConsList",
+    "cons",
+    "nil",
+    "HeapNode",
+    "PairingHeap",
+    "RestartableQueue",
+    "ResumableIndex",
+]

@@ -1,0 +1,89 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All exceptions raised deliberately by the library derive from
+:class:`ReproError`, so callers can catch the whole family with one
+``except`` clause while letting genuine bugs (``TypeError`` etc.)
+propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Structural problem in a graph database (bad vertex/edge/label)."""
+
+
+class UnknownVertexError(GraphError):
+    """A vertex name or id was requested that does not exist."""
+
+    def __init__(self, vertex: object) -> None:
+        super().__init__(f"unknown vertex: {vertex!r}")
+        self.vertex = vertex
+
+
+class UnknownEdgeError(GraphError):
+    """An edge id was requested that does not exist."""
+
+    def __init__(self, edge: object) -> None:
+        super().__init__(f"unknown edge: {edge!r}")
+        self.edge = edge
+
+
+class UnknownLabelError(GraphError):
+    """A label name was requested that does not exist in the graph."""
+
+    def __init__(self, label: object) -> None:
+        super().__init__(f"unknown label: {label!r}")
+        self.label = label
+
+
+class AutomatonError(ReproError):
+    """Structural problem in an automaton (bad state, transition...)."""
+
+
+class RegexSyntaxError(ReproError):
+    """A regular path query expression failed to parse.
+
+    Attributes
+    ----------
+    position:
+        0-based offset in the input string where the error was detected.
+    """
+
+    def __init__(self, message: str, position: int) -> None:
+        super().__init__(f"{message} (at position {position})")
+        self.position = position
+
+
+class QueryError(ReproError):
+    """A query was invalid for the database it was run against."""
+
+
+class PatternSyntaxError(ReproError):
+    """A GQL-style path pattern failed to parse.
+
+    Attributes
+    ----------
+    position:
+        0-based offset in the input string where the error was detected.
+    """
+
+    def __init__(self, message: str, position: int) -> None:
+        super().__init__(f"{message} (at position {position})")
+        self.position = position
+
+
+class CostError(ReproError):
+    """Edge costs were missing, non-positive, or of mixed bad types."""
+
+
+class EnumerationStateError(ReproError):
+    """The shared enumeration structures were used in an invalid way.
+
+    Raised for instance when two enumerations that share one trimmed
+    annotation are interleaved without resetting it.
+    """

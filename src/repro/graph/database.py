@@ -1,0 +1,349 @@
+"""The graph database (paper, Definition 3 and Section 2.2).
+
+A database is a tuple ``(Σ, V, E, Src, Tgt, Lbl)``: a finite directed
+graph where multiple edges may connect the same pair of vertices and
+every edge carries a non-empty *set* of labels.
+
+:class:`Graph` is immutable; build instances with
+:class:`~repro.graph.builder.GraphBuilder`.  Internally everything is
+integer-indexed for speed; names are kept for presentation.  The class
+honours the paper's O(1) accessor contract:
+
+==================  =======================================
+Paper               Here
+==================  =======================================
+``In(v)``           :meth:`Graph.in_edges`
+``InDeg(v)``        :meth:`Graph.in_degree`
+``Out(v)``          :meth:`Graph.out_edges`
+``OutDeg(v)``       :meth:`Graph.out_degree`
+``Src(e)``          :meth:`Graph.src`
+``Tgt(e)``          :meth:`Graph.tgt`
+``Lbl(e)``          :meth:`Graph.labels` (ids) / :meth:`Graph.label_names_of`
+``TgtIdx(e)``       :meth:`Graph.tgt_idx`
+``|D|``             :meth:`Graph.size`
+==================  =======================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.exceptions import (
+    UnknownEdgeError,
+    UnknownLabelError,
+    UnknownVertexError,
+)
+
+
+class Graph:
+    """Immutable multi-labeled multi-edge directed graph.
+
+    Do not call the constructor directly — use
+    :class:`~repro.graph.builder.GraphBuilder`, which enforces the
+    structural invariants, or the deserializers in
+    :mod:`repro.graph.io`.
+    """
+
+    __slots__ = (
+        "_vertex_names",
+        "_vertex_ids",
+        "_label_names",
+        "_label_ids",
+        "_src",
+        "_tgt",
+        "_labels",
+        "_costs",
+        "_out",
+        "_in",
+        "_tgt_idx",
+    )
+
+    def __init__(
+        self,
+        vertex_names: Sequence[Hashable],
+        label_names: Sequence[str],
+        src: Sequence[int],
+        tgt: Sequence[int],
+        labels: Sequence[Tuple[int, ...]],
+        costs: Optional[Sequence[int]] = None,
+    ) -> None:
+        self._vertex_names: Tuple[Hashable, ...] = tuple(vertex_names)
+        self._vertex_ids: Dict[Hashable, int] = {
+            name: i for i, name in enumerate(self._vertex_names)
+        }
+        self._label_names: Tuple[str, ...] = tuple(label_names)
+        self._label_ids: Dict[str, int] = {
+            name: i for i, name in enumerate(self._label_names)
+        }
+        self._src: Tuple[int, ...] = tuple(src)
+        self._tgt: Tuple[int, ...] = tuple(tgt)
+        self._labels: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(ls) for ls in labels
+        )
+        self._costs: Optional[Tuple[int, ...]] = (
+            tuple(costs) if costs is not None else None
+        )
+
+        n = len(self._vertex_names)
+        out_lists: List[List[int]] = [[] for _ in range(n)]
+        in_lists: List[List[int]] = [[] for _ in range(n)]
+        for e, (u, v) in enumerate(zip(self._src, self._tgt)):
+            if not (0 <= u < n and 0 <= v < n):
+                from repro.exceptions import GraphError
+
+                raise GraphError(
+                    f"edge {e} has endpoint outside the vertex range: "
+                    f"({u}, {v}) with |V| = {n}"
+                )
+            out_lists[u].append(e)
+            in_lists[v].append(e)
+        self._out: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(es) for es in out_lists
+        )
+        self._in: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(es) for es in in_lists
+        )
+        # TgtIdx(e): position of e inside In(Tgt(e)) — Remark 4 says this
+        # may be precomputed in O(|V| + |E|), which is what we do here.
+        tgt_idx = [0] * len(self._src)
+        for in_list in self._in:
+            for i, e in enumerate(in_list):
+                tgt_idx[e] = i
+        self._tgt_idx: Tuple[int, ...] = tuple(tgt_idx)
+
+    # -- global counts ----------------------------------------------------
+
+    @property
+    def vertex_count(self) -> int:
+        """|V|."""
+        return len(self._vertex_names)
+
+    @property
+    def edge_count(self) -> int:
+        """|E|."""
+        return len(self._src)
+
+    @property
+    def label_count(self) -> int:
+        """|Σ| — number of distinct labels used by the database."""
+        return len(self._label_names)
+
+    def size(self) -> int:
+        """The paper's ``|D| = |V| + |E| + Σ_e |Lbl(e)|``."""
+        return (
+            self.vertex_count
+            + self.edge_count
+            + sum(len(ls) for ls in self._labels)
+        )
+
+    @property
+    def total_label_occurrences(self) -> int:
+        """``Σ_e |Lbl(e)|`` — the label-multiplicity part of |D|."""
+        return sum(len(ls) for ls in self._labels)
+
+    # -- vertices -----------------------------------------------------------
+
+    def vertices(self) -> range:
+        """All vertex ids."""
+        return range(self.vertex_count)
+
+    def vertex_id(self, name: Hashable) -> int:
+        """Translate a vertex name to its internal id."""
+        try:
+            return self._vertex_ids[name]
+        except KeyError:
+            raise UnknownVertexError(name) from None
+
+    def vertex_name(self, v: int) -> Hashable:
+        """Translate an internal vertex id to its name."""
+        if not 0 <= v < self.vertex_count:
+            raise UnknownVertexError(v)
+        return self._vertex_names[v]
+
+    def has_vertex(self, name: Hashable) -> bool:
+        """True when a vertex called ``name`` exists."""
+        return name in self._vertex_ids
+
+    def resolve_vertex(self, vertex: Hashable) -> int:
+        """Accept either a vertex name or a valid internal id.
+
+        Integer inputs are treated as ids only when no vertex is *named*
+        by that integer, so graphs with integer vertex names behave
+        intuitively.
+        """
+        if vertex in self._vertex_ids:
+            return self._vertex_ids[vertex]
+        if isinstance(vertex, int) and 0 <= vertex < self.vertex_count:
+            return vertex
+        raise UnknownVertexError(vertex)
+
+    # -- labels ---------------------------------------------------------------
+
+    def label_id(self, name: str) -> int:
+        """Translate a label name to its internal id."""
+        try:
+            return self._label_ids[name]
+        except KeyError:
+            raise UnknownLabelError(name) from None
+
+    def label_name(self, a: int) -> str:
+        """Translate an internal label id to its name."""
+        if not 0 <= a < self.label_count:
+            raise UnknownLabelError(a)
+        return self._label_names[a]
+
+    def has_label(self, name: str) -> bool:
+        """True when some edge of the graph can carry ``name``."""
+        return name in self._label_ids
+
+    @property
+    def alphabet(self) -> Tuple[str, ...]:
+        """All label names, indexed by label id."""
+        return self._label_names
+
+    # -- edges -----------------------------------------------------------------
+
+    def edges(self) -> range:
+        """All edge ids."""
+        return range(self.edge_count)
+
+    def _check_edge(self, e: int) -> None:
+        if not 0 <= e < self.edge_count:
+            raise UnknownEdgeError(e)
+
+    def src(self, e: int) -> int:
+        """``Src(e)`` — source vertex id."""
+        self._check_edge(e)
+        return self._src[e]
+
+    def tgt(self, e: int) -> int:
+        """``Tgt(e)`` — target vertex id."""
+        self._check_edge(e)
+        return self._tgt[e]
+
+    def labels(self, e: int) -> Tuple[int, ...]:
+        """``Lbl(e)`` as a tuple of label ids (sorted, duplicate-free)."""
+        self._check_edge(e)
+        return self._labels[e]
+
+    def label_names_of(self, e: int) -> Tuple[str, ...]:
+        """``Lbl(e)`` as a tuple of label names."""
+        return tuple(self._label_names[a] for a in self.labels(e))
+
+    def tgt_idx(self, e: int) -> int:
+        """``TgtIdx(e)`` — position of ``e`` inside ``In(Tgt(e))``."""
+        self._check_edge(e)
+        return self._tgt_idx[e]
+
+    def cost(self, e: int) -> int:
+        """Cost of edge ``e`` (1 when the graph carries no costs)."""
+        self._check_edge(e)
+        return 1 if self._costs is None else self._costs[e]
+
+    @property
+    def has_costs(self) -> bool:
+        """True when explicit edge costs were provided at build time."""
+        return self._costs is not None
+
+    # -- adjacency ------------------------------------------------------------
+
+    def out_edges(self, v: int) -> Tuple[int, ...]:
+        """``Out(v)`` — ids of edges leaving ``v``, in edge-id order."""
+        if not 0 <= v < self.vertex_count:
+            raise UnknownVertexError(v)
+        return self._out[v]
+
+    def in_edges(self, v: int) -> Tuple[int, ...]:
+        """``In(v)`` — ids of edges entering ``v``; position = TgtIdx."""
+        if not 0 <= v < self.vertex_count:
+            raise UnknownVertexError(v)
+        return self._in[v]
+
+    def out_degree(self, v: int) -> int:
+        """``OutDeg(v)``."""
+        return len(self.out_edges(v))
+
+    def in_degree(self, v: int) -> int:
+        """``InDeg(v)``."""
+        return len(self.in_edges(v))
+
+    def max_in_degree(self) -> int:
+        """The ``d`` of Section 4.2 (0 for the empty graph)."""
+        return max((len(es) for es in self._in), default=0)
+
+    # -- raw arrays for hot loops ------------------------------------------------
+
+    # The enumeration core reads these tuples directly instead of going
+    # through bound methods; this is the single concession to speed and
+    # is part of the intra-package interface only.
+
+    @property
+    def src_array(self) -> Tuple[int, ...]:
+        """Edge-id-indexed source vertices (internal fast path)."""
+        return self._src
+
+    @property
+    def tgt_array(self) -> Tuple[int, ...]:
+        """Edge-id-indexed target vertices (internal fast path)."""
+        return self._tgt
+
+    @property
+    def label_array(self) -> Tuple[Tuple[int, ...], ...]:
+        """Edge-id-indexed label-id tuples (internal fast path)."""
+        return self._labels
+
+    @property
+    def out_array(self) -> Tuple[Tuple[int, ...], ...]:
+        """Vertex-id-indexed Out lists (internal fast path)."""
+        return self._out
+
+    @property
+    def in_array(self) -> Tuple[Tuple[int, ...], ...]:
+        """Vertex-id-indexed In lists (internal fast path)."""
+        return self._in
+
+    @property
+    def tgt_idx_array(self) -> Tuple[int, ...]:
+        """Edge-id-indexed TgtIdx values (internal fast path)."""
+        return self._tgt_idx
+
+    @property
+    def cost_array(self) -> Tuple[int, ...]:
+        """Edge-id-indexed costs; unit costs when none were provided."""
+        if self._costs is None:
+            return tuple([1] * self.edge_count)
+        return self._costs
+
+    # -- convenience ----------------------------------------------------------------
+
+    def edge_str(self, e: int) -> str:
+        """Human-readable rendering of one edge."""
+        lbls = ",".join(self.label_names_of(e))
+        return (
+            f"e{e}:{self.vertex_name(self.src(e))}"
+            f"-[{lbls}]->{self.vertex_name(self.tgt(e))}"
+        )
+
+    def parallel_edges(self, u: int, v: int) -> List[int]:
+        """All edge ids from ``u`` to ``v`` (multi-edges are allowed)."""
+        return [e for e in self._out[u] if self._tgt[e] == v]
+
+    def stats(self) -> Dict[str, int]:
+        """Summary counters, handy for logging and benchmarks."""
+        return {
+            "vertices": self.vertex_count,
+            "edges": self.edge_count,
+            "labels": self.label_count,
+            "label_occurrences": self.total_label_occurrences,
+            "size": self.size(),
+            "max_in_degree": self.max_in_degree(),
+        }
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.vertices())
+
+    def __repr__(self) -> str:
+        return (
+            f"Graph(|V|={self.vertex_count}, |E|={self.edge_count}, "
+            f"|Σ|={self.label_count})"
+        )

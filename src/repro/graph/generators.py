@@ -1,0 +1,195 @@
+"""Synthetic graph databases for tests, examples and benchmarks.
+
+Every generator takes an explicit ``seed`` so that tests and benchmarks
+are reproducible, and returns an immutable
+:class:`~repro.graph.database.Graph`.
+
+The *worst-case* families used by the duplicate-explosion experiments
+live in :mod:`repro.workloads.worstcase`; the generators here are
+general-purpose topologies.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.exceptions import GraphError
+from repro.graph.builder import GraphBuilder
+from repro.graph.database import Graph
+
+
+def chain(
+    length: int,
+    labels: Sequence[str] = ("a",),
+    parallel: int = 1,
+) -> Graph:
+    """A directed chain ``v0 -> v1 -> ... -> v_length``.
+
+    ``parallel`` controls how many parallel edges connect consecutive
+    vertices; every edge carries all of ``labels``.  With ``parallel=p``
+    there are exactly ``p ** length`` distinct shortest walks from
+    ``v0`` to ``v_length`` under any query matching the labels.
+    """
+    if length < 0:
+        raise GraphError("chain length must be >= 0")
+    if parallel < 1:
+        raise GraphError("parallel must be >= 1")
+    builder = GraphBuilder()
+    builder.add_vertex("v0")
+    for i in range(length):
+        for _ in range(parallel):
+            builder.add_edge(f"v{i}", f"v{i + 1}", labels)
+    return builder.build()
+
+
+def cycle(length: int, labels: Sequence[str] = ("a",)) -> Graph:
+    """A directed cycle ``v0 -> v1 -> ... -> v0`` of ``length`` edges."""
+    if length < 1:
+        raise GraphError("cycle length must be >= 1")
+    builder = GraphBuilder()
+    for i in range(length):
+        builder.add_edge(f"v{i}", f"v{(i + 1) % length}", labels)
+    return builder.build()
+
+
+def grid(
+    rows: int,
+    cols: int,
+    right_label: str = "r",
+    down_label: str = "d",
+) -> Graph:
+    """A rows×cols grid with edges going right (``r``) and down (``d``).
+
+    From corner ``(0,0)`` to corner ``(rows-1, cols-1)`` there are
+    ``C(rows+cols-2, rows-1)`` shortest walks, which makes grids a
+    natural stress test for enumeration throughput.
+    """
+    if rows < 1 or cols < 1:
+        raise GraphError("grid dimensions must be >= 1")
+    builder = GraphBuilder()
+    for r in range(rows):
+        for c in range(cols):
+            builder.add_vertex(f"n{r}_{c}")
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                builder.add_edge(f"n{r}_{c}", f"n{r}_{c + 1}", [right_label])
+            if r + 1 < rows:
+                builder.add_edge(f"n{r}_{c}", f"n{r + 1}_{c}", [down_label])
+    return builder.build()
+
+
+def random_multilabel(
+    n_vertices: int,
+    n_edges: int,
+    alphabet: Sequence[str] = ("a", "b", "c"),
+    max_labels_per_edge: int = 2,
+    seed: int = 0,
+    ensure_path: Optional[tuple] = None,
+) -> Graph:
+    """Uniform random multigraph with random non-empty label sets.
+
+    ``ensure_path=(src_name, tgt_name, length)`` optionally plants a
+    directed path between two named vertices so that queries have at
+    least one answer (useful for benchmarks where an empty result set
+    would make delays meaningless).
+    """
+    if n_vertices < 1:
+        raise GraphError("need at least one vertex")
+    if max_labels_per_edge < 1 or max_labels_per_edge > len(alphabet):
+        raise GraphError("bad max_labels_per_edge")
+    rng = random.Random(seed)
+    builder = GraphBuilder()
+    names = [f"v{i}" for i in range(n_vertices)]
+    builder.add_vertices(names)
+
+    def random_labels() -> List[str]:
+        k = rng.randint(1, max_labels_per_edge)
+        return rng.sample(list(alphabet), k)
+
+    for _ in range(n_edges):
+        u = rng.randrange(n_vertices)
+        v = rng.randrange(n_vertices)
+        builder.add_edge(names[u], names[v], random_labels())
+
+    if ensure_path is not None:
+        src_name, tgt_name, length = ensure_path
+        builder.add_vertex(src_name)
+        builder.add_vertex(tgt_name)
+        previous = src_name
+        for i in range(length - 1):
+            waypoint = f"__wp{i}"
+            builder.add_edge(previous, waypoint, random_labels())
+            previous = waypoint
+        builder.add_edge(previous, tgt_name, random_labels())
+    return builder.build()
+
+
+def layered(
+    n_layers: int,
+    width: int,
+    alphabet: Sequence[str] = ("a", "b"),
+    density: float = 0.5,
+    max_labels_per_edge: int = 2,
+    seed: int = 0,
+) -> Graph:
+    """A layered DAG: ``n_layers`` layers of ``width`` vertices.
+
+    Each vertex of layer ``i`` connects to each vertex of layer ``i+1``
+    independently with probability ``density``; a spine path is always
+    added so that ``source`` reaches ``sink``.  Vertices ``source`` and
+    ``sink`` frame the layers.  Layered DAGs let benchmarks control the
+    shortest-walk length λ (= ``n_layers + 1``) independently of |D|.
+    """
+    if n_layers < 1 or width < 1:
+        raise GraphError("bad layered dimensions")
+    rng = random.Random(seed)
+    builder = GraphBuilder()
+    builder.add_vertex("source")
+    layer_names = [
+        [f"l{i}_{j}" for j in range(width)] for i in range(n_layers)
+    ]
+
+    def random_labels() -> List[str]:
+        k = rng.randint(1, max_labels_per_edge)
+        return rng.sample(list(alphabet), k)
+
+    for name in layer_names[0]:
+        builder.add_edge("source", name, random_labels())
+    for i in range(n_layers - 1):
+        for u in layer_names[i]:
+            for v in layer_names[i + 1]:
+                if rng.random() < density:
+                    builder.add_edge(u, v, random_labels())
+    for name in layer_names[-1]:
+        builder.add_edge(name, "sink", random_labels())
+    # Spine: guarantees source ~~> sink through every layer.
+    previous = "source"
+    for i in range(n_layers):
+        spine = layer_names[i][0]
+        if i > 0:
+            builder.add_edge(previous, spine, random_labels())
+        previous = spine
+    builder.add_edge(previous, "sink", random_labels())
+    return builder.build()
+
+
+def star(
+    n_leaves: int,
+    label_in: str = "in",
+    label_out: str = "out",
+) -> Graph:
+    """A hub with ``n_leaves`` out-edges and ``n_leaves`` in-edges.
+
+    Useful for testing high in-degree handling (the delay of the paper's
+    algorithm must *not* depend on the in-degree; see Section 3.2).
+    """
+    if n_leaves < 1:
+        raise GraphError("need at least one leaf")
+    builder = GraphBuilder()
+    builder.add_vertex("hub")
+    for i in range(n_leaves):
+        builder.add_edge(f"src{i}", "hub", [label_in])
+        builder.add_edge("hub", f"dst{i}", [label_out])
+    return builder.build()

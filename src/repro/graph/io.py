@@ -1,0 +1,171 @@
+"""Persistence for graph databases.
+
+Two formats are supported:
+
+* **JSON** — a single document with explicit vertex, label and edge
+  arrays; lossless (keeps edge order, hence ``TgtIdx`` and enumeration
+  order, and costs).
+* **edge list** — a friendly line-based text format::
+
+      # comment
+      Alix -> Cassie : h
+      Alix -> Dan    : h, s
+      Eve  -> Bob    : h, s @ 3      # optional cost after '@'
+
+  Vertices appear in first-use order; lossless for everything the
+  algorithm cares about.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Dict, Union
+
+from repro.exceptions import GraphError
+from repro.graph.builder import GraphBuilder
+from repro.graph.database import Graph
+
+_PathLike = Union[str, Path]
+
+_EDGE_RE = re.compile(
+    r"^\s*(?P<src>[^\s-][^:>]*?)\s*->\s*(?P<tgt>[^:]+?)\s*:\s*(?P<labels>[^@]+?)"
+    r"\s*(?:@\s*(?P<cost>\d+))?\s*$"
+)
+
+
+def graph_to_dict(graph: Graph) -> Dict[str, object]:
+    """Serialize a graph to a JSON-compatible dictionary."""
+    return {
+        "format": "repro-graph",
+        "version": 1,
+        "vertices": [str(graph.vertex_name(v)) for v in graph.vertices()],
+        "labels": list(graph.alphabet),
+        "edges": [
+            {
+                "src": graph.src(e),
+                "tgt": graph.tgt(e),
+                "labels": list(graph.labels(e)),
+                **({"cost": graph.cost(e)} if graph.has_costs else {}),
+            }
+            for e in graph.edges()
+        ],
+    }
+
+
+def graph_from_dict(data: Dict[str, object]) -> Graph:
+    """Inverse of :func:`graph_to_dict`."""
+    if data.get("format") != "repro-graph":
+        raise GraphError("not a repro-graph document")
+    vertices = list(data["vertices"])  # type: ignore[arg-type]
+    labels = list(data["labels"])  # type: ignore[arg-type]
+    edges = list(data["edges"])  # type: ignore[arg-type]
+    any_cost = any("cost" in e for e in edges)
+    return Graph(
+        vertex_names=vertices,
+        label_names=labels,
+        src=[e["src"] for e in edges],
+        tgt=[e["tgt"] for e in edges],
+        labels=[tuple(e["labels"]) for e in edges],
+        costs=[e.get("cost", 1) for e in edges] if any_cost else None,
+    )
+
+
+def save_json(graph: Graph, path: _PathLike) -> None:
+    """Write a graph to ``path`` as JSON."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(graph_to_dict(graph), fh, indent=1)
+
+
+def load_json(path: _PathLike) -> Graph:
+    """Read a graph previously written by :func:`save_json`."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return graph_from_dict(json.load(fh))
+
+
+def save_edge_list(graph: Graph, path: _PathLike) -> None:
+    """Write a graph in the human-editable edge-list format."""
+    lines = ["# repro edge list"]
+    for e in graph.edges():
+        line = (
+            f"{graph.vertex_name(graph.src(e))} -> "
+            f"{graph.vertex_name(graph.tgt(e))} : "
+            + ", ".join(graph.label_names_of(e))
+        )
+        if graph.has_costs:
+            line += f" @ {graph.cost(e)}"
+        lines.append(line)
+    Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+def load_edge_list(path: _PathLike) -> Graph:
+    """Read a graph in the edge-list format (see module docstring)."""
+    builder = GraphBuilder()
+    for lineno, raw in enumerate(
+        Path(path).read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        match = _EDGE_RE.match(line)
+        if match is None:
+            raise GraphError(f"cannot parse edge on line {lineno}: {raw!r}")
+        labels = [l.strip() for l in match["labels"].split(",") if l.strip()]
+        cost = int(match["cost"]) if match["cost"] else None
+        builder.add_edge(
+            match["src"].strip(), match["tgt"].strip(), labels, cost=cost
+        )
+    return builder.build()
+
+
+def property_graph_to_dict(pg) -> Dict[str, object]:
+    """Serialize a :class:`~repro.graph.property_graph.PropertyGraph`.
+
+    Vertex names must be JSON-compatible (strings in practice) and
+    property values JSON-serializable; the structure round-trips
+    through :func:`property_graph_from_dict`.
+    """
+    return {
+        "format": "repro-property-graph",
+        "version": 1,
+        "vertices": [
+            {"name": name, "properties": dict(pg.vertex_properties(name))}
+            for name in pg.vertices()
+        ],
+        "edges": [
+            {"src": src, "tgt": tgt, "properties": dict(props)}
+            for _eid, src, tgt, props in pg.edges()
+        ],
+    }
+
+
+def property_graph_from_dict(data: Dict[str, object]):
+    """Rebuild a property graph serialized by :func:`property_graph_to_dict`."""
+    from repro.graph.property_graph import PropertyGraph
+
+    if data.get("format") != "repro-property-graph":
+        raise GraphError(
+            "not a repro property-graph document "
+            f"(format = {data.get('format')!r})"
+        )
+    pg = PropertyGraph()
+    for vertex in data.get("vertices", ()):
+        pg.add_vertex(vertex["name"], **vertex.get("properties", {}))
+    for edge in data.get("edges", ()):
+        pg.add_edge(edge["src"], edge["tgt"], **edge.get("properties", {}))
+    return pg
+
+
+def save_property_graph_json(pg, path: _PathLike) -> None:
+    """Write a property graph as JSON."""
+    Path(path).write_text(
+        json.dumps(property_graph_to_dict(pg), indent=2), encoding="utf-8"
+    )
+
+
+def load_property_graph_json(path: _PathLike):
+    """Read a property graph written by :func:`save_property_graph_json`."""
+    return property_graph_from_dict(
+        json.loads(Path(path).read_text(encoding="utf-8"))
+    )

@@ -1,0 +1,23 @@
+"""User-facing RPQ layer.
+
+* :func:`~repro.query.rpq.rpq` — compile a regular path query
+  expression once, run it against any database;
+* :func:`~repro.query.pattern.parse_pattern` — GQL-flavoured path
+  patterns (``ALL SHORTEST (a)-[:h|:s]->+(b)``) over the same engine;
+* :func:`~repro.query.plan.analyze` — linear-time input analysis and
+  engine selection, per the paper's remark that detecting the
+  "simpler setting" is free.
+"""
+
+from repro.query.pattern import PathPattern, parse_pattern
+from repro.query.plan import QueryPlan, analyze
+from repro.query.rpq import RPQ, rpq
+
+__all__ = [
+    "PathPattern",
+    "QueryPlan",
+    "RPQ",
+    "analyze",
+    "parse_pattern",
+    "rpq",
+]

@@ -1,0 +1,122 @@
+"""The :func:`rpq` front-end: parse once, query anywhere.
+
+>>> from repro.query import rpq
+>>> from repro.workloads.fraud import example9_graph
+>>> query = rpq("h* s (h | s)*")
+>>> walks = list(query.shortest_walks(example9_graph(), "Alix", "Bob"))
+>>> len(walks)
+4
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator, List, Optional, Tuple
+
+from repro.automata import parse_rpq, regex_to_nfa
+from repro.automata.nfa import NFA
+from repro.automata.regex_ast import RegexNode, ast_size
+from repro.core.cheapest import DistinctCheapestWalks
+from repro.core.engine import DistinctShortestWalks
+from repro.core.multi_target import MultiTargetShortestWalks
+from repro.core.walks import Walk
+from repro.graph.database import Graph
+from repro.query.plan import QueryPlan, analyze
+
+
+class RPQ:
+    """A compiled regular path query.
+
+    Holds both the parsed AST and the compiled automaton; the
+    construction method is a visible, benchmarkable choice
+    (``thompson`` keeps Corollary 20's bounds; ``glushkov`` trades
+    ε-freeness for O(|R|²) transitions).
+    """
+
+    def __init__(self, expression: str, method: str = "thompson") -> None:
+        self.expression = expression
+        self.method = method
+        self.ast: RegexNode = parse_rpq(expression)
+        self.automaton: NFA = regex_to_nfa(self.ast, method=method)
+
+    @property
+    def size(self) -> int:
+        """|R| — the expression size used in Corollary 20."""
+        return ast_size(self.ast)
+
+    # -- execution ----------------------------------------------------------
+
+    def engine(
+        self,
+        graph: Graph,
+        source: Hashable,
+        target: Hashable,
+        mode: str = "auto",
+    ) -> DistinctShortestWalks:
+        """A reusable engine for this query on a specific instance."""
+        return DistinctShortestWalks(
+            graph, self.automaton, source, target, mode=mode
+        )
+
+    def shortest_walks(
+        self,
+        graph: Graph,
+        source: Hashable,
+        target: Hashable,
+        mode: str = "auto",
+    ) -> Iterator[Walk]:
+        """Enumerate distinct shortest matching walks."""
+        return self.engine(graph, source, target, mode=mode).enumerate()
+
+    def shortest_walks_with_multiplicity(
+        self, graph: Graph, source: Hashable, target: Hashable
+    ) -> Iterator[Tuple[Walk, int]]:
+        """Enumerate ``(walk, number of accepting runs)`` pairs."""
+        return self.engine(
+            graph, source, target, mode="iterative"
+        ).enumerate_with_multiplicity()
+
+    def cheapest_walks(
+        self, graph: Graph, source: Hashable, target: Hashable
+    ) -> Iterator[Walk]:
+        """Enumerate distinct cheapest matching walks (edge costs)."""
+        return DistinctCheapestWalks(
+            graph, self.automaton, source, target
+        ).enumerate()
+
+    def to_all_targets(
+        self, graph: Graph, source: Hashable
+    ) -> MultiTargetShortestWalks:
+        """Shared-preprocessing enumeration towards every target."""
+        return MultiTargetShortestWalks(graph, self.automaton, source)
+
+    def plan(self, graph: Graph) -> QueryPlan:
+        """Input analysis for this query against ``graph``."""
+        return analyze(graph, self.automaton)
+
+    # -- conveniences ------------------------------------------------------------
+
+    def lam(
+        self, graph: Graph, source: Hashable, target: Hashable
+    ) -> Optional[int]:
+        """λ for this query on an instance (``None`` when unmatched)."""
+        return self.engine(graph, source, target).lam
+
+    def count(
+        self, graph: Graph, source: Hashable, target: Hashable
+    ) -> int:
+        """Number of distinct shortest matching walks."""
+        return self.engine(graph, source, target).count()
+
+    def first(
+        self, graph: Graph, source: Hashable, target: Hashable, k: int
+    ) -> List[Walk]:
+        """First ``k`` answers in enumeration order."""
+        return self.engine(graph, source, target).first(k)
+
+    def __repr__(self) -> str:
+        return f"RPQ({self.expression!r}, method={self.method!r})"
+
+
+def rpq(expression: str, method: str = "thompson") -> RPQ:
+    """Compile a regular path query expression."""
+    return RPQ(expression, method=method)

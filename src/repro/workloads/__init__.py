@@ -1,0 +1,56 @@
+"""Workloads: the paper's running example plus scalable scenario
+generators used by the examples, tests and benchmarks.
+
+* :mod:`repro.workloads.fraud` — Figure 1 / Example 9 (bank transfers),
+  its property-graph form (amounts + compliance flags), and a scalable
+  fraud-network generator;
+* :mod:`repro.workloads.social` — a social-graph generator with
+  follow/knows/mentions labels;
+* :mod:`repro.workloads.transport` — intermodal transport networks
+  with per-mode edge costs, for the Distinct Cheapest Walks extension;
+* :mod:`repro.workloads.worstcase` — adversarial families: the
+  *duplicate bomb* (exponentially many product paths per walk), the
+  *diamond chain* (exponentially many answers), and the
+  *decoy in-degree* family (the Trim ablation);
+* :mod:`repro.workloads.queries` — a catalog of benchmark queries.
+"""
+
+from repro.workloads.fraud import (
+    example9_automaton,
+    example9_graph,
+    example9_property_graph,
+    example9_query,
+    example9_rules,
+    fraud_network,
+)
+from repro.workloads.queries import QUERY_CATALOG
+from repro.workloads.social import social_network
+from repro.workloads.transport import (
+    TRANSPORT_QUERIES,
+    antipodal_pair,
+    transport_network,
+)
+from repro.workloads.worstcase import (
+    decoy_indegree,
+    diamond_chain,
+    duplicate_bomb,
+    wide_nfa,
+)
+
+__all__ = [
+    "QUERY_CATALOG",
+    "TRANSPORT_QUERIES",
+    "antipodal_pair",
+    "decoy_indegree",
+    "diamond_chain",
+    "duplicate_bomb",
+    "example9_automaton",
+    "example9_graph",
+    "example9_property_graph",
+    "example9_query",
+    "example9_rules",
+    "fraud_network",
+    "social_network",
+    "transport_network",
+    "wide_nfa",
+]

@@ -1,0 +1,71 @@
+"""A social-network workload: people, posts... well, people mostly.
+
+Labels model typical property-graph relationships:
+
+* ``knows`` — symmetric-ish friendship (both directions inserted with
+  high probability);
+* ``follows`` — directed, power-law-ish (preferential attachment);
+* ``mentions`` — directed interactions, may coexist with ``follows``
+  on a *multi-labeled* edge, exercising the paper's data model.
+
+Typical queries: ``knows{1,3}``, ``follows+ mentions``,
+``(knows | follows)* mentions`` — see
+:data:`repro.workloads.queries.QUERY_CATALOG`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.database import Graph
+
+
+def social_network(
+    n_people: int,
+    avg_degree: int = 6,
+    mention_rate: float = 0.25,
+    seed: int = 0,
+) -> Graph:
+    """Generate a social graph with multi-labeled interaction edges.
+
+    Preferential attachment makes early vertices hubs, giving the
+    in-degree skew that stresses the ``TgtIdx`` machinery (the paper's
+    delay must not depend on in-degrees).
+    """
+    rng = random.Random(seed)
+    builder = GraphBuilder()
+    names = [f"p{i}" for i in range(n_people)]
+    builder.add_vertices(names)
+
+    popularity: List[int] = [1] * n_people
+
+    def pick_popular() -> int:
+        total = sum(popularity)
+        roll = rng.randrange(total)
+        acc = 0
+        for person, weight in enumerate(popularity):
+            acc += weight
+            if roll < acc:
+                return person
+        return n_people - 1
+
+    n_edges = max(1, (n_people * avg_degree) // 2)
+    for _ in range(n_edges):
+        a = rng.randrange(n_people)
+        b = pick_popular()
+        if a == b:
+            b = (b + 1) % n_people
+        kind = rng.random()
+        if kind < 0.45:
+            builder.add_edge(names[a], names[b], ["knows"])
+            if rng.random() < 0.8:
+                builder.add_edge(names[b], names[a], ["knows"])
+        else:
+            labels = ["follows"]
+            if rng.random() < mention_rate:
+                labels.append("mentions")
+            builder.add_edge(names[a], names[b], labels)
+            popularity[b] += 2
+    return builder.build()

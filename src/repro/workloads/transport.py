@@ -1,0 +1,100 @@
+"""A scalable intermodal transport workload (Distinct Cheapest Walks).
+
+The Section 5.3 cost extension needs realistic inputs: networks where
+the *cheapest* compliant route differs from the *shortest* one and
+where policy queries ("no flights after ground", "at most two buses")
+prune the answer space.  This generator produces such networks at any
+scale:
+
+* cities arranged on a ring with ``train``/``bus`` edges between
+  neighbours (buses cheaper, both directions);
+* a random subset of *hub* cities fully connected by ``flight`` edges
+  (fast in hops, expensive in cost);
+* every edge carries a positive integer cost drawn from a per-mode
+  range, so Dijkstra budgets stay exact.
+
+The layout guarantees connectivity (the ring), multi-modal choice
+(parallel train/bus edges), and hop-vs-cost tension (flights), which
+together exercise every branch of the cheapest-walk annotation.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Sequence, Tuple
+
+from repro.exceptions import GraphError
+from repro.graph.builder import GraphBuilder
+from repro.graph.database import Graph
+
+#: Per-mode (min cost, max cost) ranges.
+DEFAULT_MODE_COSTS: Dict[str, Tuple[int, int]] = {
+    "train": (30, 80),
+    "bus": (10, 40),
+    "flight": (60, 150),
+}
+
+#: Policy queries over the transport alphabet, for benchmarks/examples.
+TRANSPORT_QUERIES: Dict[str, str] = {
+    "ground_only": "(train | bus)+",
+    "fly_then_ground": "flight* (train | bus)*",
+    "no_bus": "(train | flight)+",
+    "one_flight_max": "(train | bus)* flight? (train | bus)*",
+    "anything": "(train | bus | flight)+",
+}
+
+
+def transport_network(
+    n_cities: int,
+    hub_fraction: float = 0.2,
+    mode_costs: Dict[str, Tuple[int, int]] = DEFAULT_MODE_COSTS,
+    seed: int = 0,
+) -> Graph:
+    """A ring of cities with train/bus neighbour edges + flight hubs.
+
+    Vertices are ``city0 .. city{n-1}``.  Every consecutive pair (both
+    directions, ring-closed) gets one ``train`` and one ``bus`` edge
+    with independent random costs; ``max(2, hub_fraction·n)`` hub
+    cities are pairwise connected by ``flight`` edges.  All costs are
+    positive integers (exact Dijkstra arithmetic).
+    """
+    if n_cities < 2:
+        raise GraphError("a transport network needs at least two cities")
+    if not 0.0 <= hub_fraction <= 1.0:
+        raise GraphError("hub_fraction must be within [0, 1]")
+    for mode, (lo, hi) in mode_costs.items():
+        if lo <= 0 or hi < lo:
+            raise GraphError(f"bad cost range for mode {mode!r}: ({lo}, {hi})")
+
+    rng = random.Random(seed)
+    builder = GraphBuilder()
+    names = [f"city{i}" for i in range(n_cities)]
+    builder.add_vertices(names)
+
+    def cost(mode: str) -> int:
+        lo, hi = mode_costs[mode]
+        return rng.randint(lo, hi)
+
+    ground = [m for m in ("train", "bus") if m in mode_costs]
+    for i in range(n_cities):
+        j = (i + 1) % n_cities
+        for mode in ground:
+            builder.add_edge(names[i], names[j], [mode], cost=cost(mode))
+            builder.add_edge(names[j], names[i], [mode], cost=cost(mode))
+
+    if "flight" in mode_costs:
+        n_hubs = max(2, int(round(hub_fraction * n_cities)))
+        hubs = rng.sample(range(n_cities), min(n_hubs, n_cities))
+        for a in hubs:
+            for b in hubs:
+                if a != b:
+                    builder.add_edge(
+                        names[a], names[b], ["flight"], cost=cost("flight")
+                    )
+    return builder.build()
+
+
+def antipodal_pair(graph: Graph) -> Tuple[str, str]:
+    """The ring's most distant city pair — the canonical query endpoints."""
+    n = graph.vertex_count
+    return "city0", f"city{n // 2}"

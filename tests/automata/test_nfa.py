@@ -1,0 +1,196 @@
+"""Unit tests for the NFA core."""
+
+import pytest
+
+from repro.automata import ANY, EPSILON, NFA
+from repro.exceptions import AutomatonError
+from repro.workloads.fraud import example9_automaton
+
+
+@pytest.fixture
+def ab_star_b():
+    """Accepts (a|b)* b — nondeterministic two-state automaton."""
+    nfa = NFA(2)
+    nfa.add_transition(0, "a", 0)
+    nfa.add_transition(0, "b", 0)
+    nfa.add_transition(0, "b", 1)
+    nfa.set_initial(0)
+    nfa.set_final(1)
+    return nfa
+
+
+class TestConstruction:
+    def test_add_state(self):
+        nfa = NFA()
+        assert nfa.add_state() == 0
+        assert nfa.add_state() == 1
+        assert nfa.n_states == 2
+
+    def test_add_states_bulk(self):
+        nfa = NFA()
+        assert nfa.add_states(3) == [0, 1, 2]
+
+    def test_transitions_deduped(self):
+        nfa = NFA(2)
+        nfa.add_transition(0, "a", 1)
+        nfa.add_transition(0, "a", 1)
+        assert nfa.delta(0, "a") == (1,)
+        assert nfa.transition_count == 1
+
+    def test_bad_state_rejected(self):
+        nfa = NFA(1)
+        with pytest.raises(AutomatonError):
+            nfa.add_transition(0, "a", 5)
+        with pytest.raises(AutomatonError):
+            nfa.set_initial(9)
+
+    def test_bad_label_rejected(self):
+        nfa = NFA(1)
+        with pytest.raises(AutomatonError):
+            nfa.add_transition(0, "", 0)
+        with pytest.raises(AutomatonError):
+            nfa.add_transition(0, 42, 0)
+
+    def test_size_formula(self, ab_star_b):
+        # |Σ|=2, |Q|=2, |Δ|=3.
+        assert ab_star_b.size() == 2 + 2 + 3
+
+
+class TestAcceptance:
+    def test_basic_words(self, ab_star_b):
+        assert ab_star_b.accepts(["b"])
+        assert ab_star_b.accepts(["a", "b"])
+        assert ab_star_b.accepts(["a", "a", "b", "b"])
+        assert not ab_star_b.accepts(["a"])
+        assert not ab_star_b.accepts([])
+        assert not ab_star_b.accepts(["b", "a"])
+
+    def test_unknown_symbol(self, ab_star_b):
+        assert not ab_star_b.accepts(["z"])
+
+    def test_example9_language(self):
+        nfa = example9_automaton()
+        assert nfa.accepts(["s"])
+        assert nfa.accepts(["h", "h", "s"])
+        assert nfa.accepts(["h", "s", "h"])
+        assert nfa.accepts(["s", "h", "s"])
+        assert not nfa.accepts(["h"])
+        assert not nfa.accepts(["h", "h", "h"])
+        assert not nfa.accepts([])
+
+    def test_wildcard(self):
+        nfa = NFA(2)
+        nfa.add_transition(0, ANY, 1)
+        nfa.set_initial(0)
+        nfa.set_final(1)
+        assert nfa.accepts(["anything"])
+        assert nfa.accepts(["x"])
+        assert not nfa.accepts([])
+        assert not nfa.accepts(["x", "y"])
+        assert nfa.uses_wildcard
+
+
+class TestEpsilon:
+    def test_closure(self):
+        nfa = NFA(4)
+        nfa.add_transition(0, EPSILON, 1)
+        nfa.add_transition(1, EPSILON, 2)
+        nfa.add_transition(2, "a", 3)
+        assert nfa.eps_closure([0]) == frozenset({0, 1, 2})
+        assert nfa.eps_closure([3]) == frozenset({3})
+
+    def test_closure_with_cycle(self):
+        nfa = NFA(2)
+        nfa.add_transition(0, EPSILON, 1)
+        nfa.add_transition(1, EPSILON, 0)
+        assert nfa.eps_closure([0]) == frozenset({0, 1})
+
+    def test_accepts_through_epsilon(self):
+        nfa = NFA(3)
+        nfa.add_transition(0, EPSILON, 1)
+        nfa.add_transition(1, "a", 2)
+        nfa.set_initial(0)
+        nfa.set_final(2)
+        assert nfa.accepts(["a"])
+        assert not nfa.accepts([])
+
+    def test_epsilon_acceptance_of_empty_word(self):
+        nfa = NFA(2)
+        nfa.add_transition(0, EPSILON, 1)
+        nfa.set_initial(0)
+        nfa.set_final(1)
+        assert nfa.accepts([])
+        assert nfa.has_epsilon
+
+
+class TestMatchesLabelSets:
+    def test_paper_matching_semantics(self):
+        """Walk matches iff some per-edge label choice is accepted."""
+        nfa = example9_automaton()
+        # w4 = e2 e4 e8: {h,s}·{h}·{h,s} contains shh (accepted).
+        assert nfa.matches_label_sets([("h", "s"), ("h",), ("h", "s")])
+        # e1 e7: {h}·{h} = hh only, not accepted.
+        assert not nfa.matches_label_sets([("h",), ("h",)])
+
+    def test_empty_walk(self):
+        nfa = example9_automaton()
+        assert not nfa.matches_label_sets([])  # ε not in L.
+
+
+class TestShortestAcceptedLength:
+    def test_simple(self, ab_star_b):
+        assert ab_star_b.shortest_accepted_length() == 1
+
+    def test_empty_language(self):
+        nfa = NFA(2)
+        nfa.add_transition(0, "a", 0)
+        nfa.set_initial(0)
+        nfa.set_final(1)  # 1 unreachable.
+        assert nfa.shortest_accepted_length() is None
+        assert nfa.is_empty_language()
+
+    def test_epsilon_word(self):
+        nfa = NFA(1)
+        nfa.set_initial(0)
+        nfa.set_final(0)
+        assert nfa.shortest_accepted_length() == 0
+
+    def test_epsilon_transitions_are_free(self):
+        nfa = NFA(4)
+        nfa.add_transition(0, EPSILON, 1)
+        nfa.add_transition(1, "a", 2)
+        nfa.add_transition(2, EPSILON, 3)
+        nfa.set_initial(0)
+        nfa.set_final(3)
+        assert nfa.shortest_accepted_length() == 1
+
+    def test_example9(self):
+        assert example9_automaton().shortest_accepted_length() == 1
+
+
+class TestMisc:
+    def test_copy_is_deep(self, ab_star_b):
+        clone = ab_star_b.copy()
+        clone.add_transition(1, "a", 1)
+        assert clone.transition_count == ab_star_b.transition_count + 1
+        assert clone.accepts(["b", "a"])
+        assert not ab_star_b.accepts(["b", "a"])
+
+    def test_alphabet(self, ab_star_b):
+        assert ab_star_b.alphabet() == {"a", "b"}
+
+    def test_transitions_iteration(self, ab_star_b):
+        triples = set(ab_star_b.transitions())
+        assert (0, "b", 1) in triples
+        assert len(triples) == 3
+
+    def test_validate_ok(self, ab_star_b):
+        ab_star_b.validate()
+
+    def test_to_dot_contains_states(self, ab_star_b):
+        dot = ab_star_b.to_dot()
+        assert "digraph" in dot
+        assert "doublecircle" in dot
+
+    def test_repr(self, ab_star_b):
+        assert "|Q|=2" in repr(ab_star_b)

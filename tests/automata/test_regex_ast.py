@@ -1,0 +1,121 @@
+"""Unit tests for regex AST desugaring and size accounting."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.automata.regex_ast import (
+    AnyAtom,
+    Concat,
+    EpsilonAtom,
+    Label,
+    Optional,
+    Plus,
+    Repeat,
+    Star,
+    Union,
+    ast_size,
+    desugar,
+)
+from repro.automata import thompson_nfa
+from repro.exceptions import RegexSyntaxError
+
+from tests.conftest import regex_asts
+
+_WORDS = [
+    [],
+    ["a"],
+    ["b"],
+    ["a", "a"],
+    ["a", "a", "a"],
+    ["a", "b"],
+    ["a", "a", "a", "a"],
+]
+
+
+def _core_only(node) -> bool:
+    if isinstance(node, (Label, AnyAtom, EpsilonAtom)):
+        return True
+    if isinstance(node, (Concat, Union)):
+        return all(_core_only(p) for p in node.parts)
+    if isinstance(node, Star):
+        return _core_only(node.child)
+    return False
+
+
+class TestDesugar:
+    def test_plus(self):
+        assert desugar(Plus(Label("a"))) == Concat(
+            (Label("a"), Star(Label("a")))
+        )
+
+    def test_optional(self):
+        assert desugar(Optional(Label("a"))) == Union(
+            (EpsilonAtom(), Label("a"))
+        )
+
+    def test_repeat_exact(self):
+        core = desugar(Repeat(Label("a"), 3, 3))
+        assert core == Concat((Label("a"), Label("a"), Label("a")))
+
+    def test_repeat_unbounded(self):
+        core = desugar(Repeat(Label("a"), 2, None))
+        assert core == Concat((Label("a"), Label("a"), Star(Label("a"))))
+
+    def test_repeat_range(self):
+        core = desugar(Repeat(Label("a"), 1, 2))
+        nfa = thompson_nfa(core)
+        assert not nfa.accepts([])
+        assert nfa.accepts(["a"])
+        assert nfa.accepts(["a", "a"])
+        assert not nfa.accepts(["a", "a", "a"])
+
+    def test_repeat_zero_zero(self):
+        assert desugar(Repeat(Label("a"), 0, 0)) == EpsilonAtom()
+
+    def test_repeat_zero_unbounded_is_star(self):
+        assert desugar(Repeat(Label("a"), 0, None)) == Star(Label("a"))
+
+    @given(regex_asts())
+    @settings(max_examples=60)
+    def test_desugared_is_core(self, ast):
+        assert _core_only(desugar(ast))
+
+    @given(regex_asts())
+    @settings(max_examples=60)
+    def test_language_preserved(self, ast):
+        original = thompson_nfa(ast)       # thompson desugars internally
+        cored = thompson_nfa(desugar(ast))  # already core: same language
+        for word in _WORDS:
+            assert original.accepts(word) == cored.accepts(word), word
+
+
+class TestAstSize:
+    def test_atom(self):
+        assert ast_size(Label("a")) == 1
+        assert ast_size(AnyAtom()) == 1
+
+    def test_compound(self):
+        ast = Concat((Label("a"), Star(Label("b"))))
+        # concat + a + star + b = 4.
+        assert ast_size(ast) == 4
+
+    def test_repeat_counts_once(self):
+        assert ast_size(Repeat(Label("a"), 2, 5)) == 2
+
+
+class TestValidation:
+    def test_empty_label_rejected(self):
+        with pytest.raises(RegexSyntaxError):
+            Label("")
+
+    def test_single_part_concat_rejected(self):
+        with pytest.raises(RegexSyntaxError):
+            Concat((Label("a"),))
+
+    def test_single_part_union_rejected(self):
+        with pytest.raises(RegexSyntaxError):
+            Union((Label("a"),))
+
+    def test_negative_repeat_rejected(self):
+        with pytest.raises(RegexSyntaxError):
+            Repeat(Label("a"), -1, 2)

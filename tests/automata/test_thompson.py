@@ -1,0 +1,115 @@
+"""Unit tests for the Thompson construction (Theorem 19)."""
+
+from hypothesis import given, settings
+
+from repro.automata import EPSILON, thompson_nfa
+from repro.automata.regex_ast import ast_size, desugar
+from repro.automata.regex_parser import parse_rpq
+
+from tests.conftest import regex_asts
+
+_WORDS = [
+    [],
+    ["a"],
+    ["b"],
+    ["c"],
+    ["a", "a"],
+    ["a", "b"],
+    ["b", "a"],
+    ["a", "b", "c"],
+    ["a", "a", "a"],
+    ["c", "c"],
+]
+
+
+class TestLanguages:
+    def test_label(self):
+        nfa = thompson_nfa(parse_rpq("a"))
+        assert nfa.accepts(["a"])
+        assert not nfa.accepts([])
+        assert not nfa.accepts(["a", "a"])
+
+    def test_epsilon(self):
+        nfa = thompson_nfa(parse_rpq("ε"))
+        assert nfa.accepts([])
+        assert not nfa.accepts(["a"])
+
+    def test_concat(self):
+        nfa = thompson_nfa(parse_rpq("a b"))
+        assert nfa.accepts(["a", "b"])
+        assert not nfa.accepts(["a"])
+        assert not nfa.accepts(["b", "a"])
+
+    def test_union(self):
+        nfa = thompson_nfa(parse_rpq("a | b"))
+        assert nfa.accepts(["a"])
+        assert nfa.accepts(["b"])
+        assert not nfa.accepts(["a", "b"])
+
+    def test_star(self):
+        nfa = thompson_nfa(parse_rpq("a*"))
+        assert nfa.accepts([])
+        assert nfa.accepts(["a"])
+        assert nfa.accepts(["a"] * 5)
+        assert not nfa.accepts(["b"])
+
+    def test_plus(self):
+        nfa = thompson_nfa(parse_rpq("a+"))
+        assert not nfa.accepts([])
+        assert nfa.accepts(["a"])
+        assert nfa.accepts(["a", "a"])
+
+    def test_optional(self):
+        nfa = thompson_nfa(parse_rpq("a?"))
+        assert nfa.accepts([])
+        assert nfa.accepts(["a"])
+        assert not nfa.accepts(["a", "a"])
+
+    def test_example9(self):
+        nfa = thompson_nfa(parse_rpq("h* s (h | s)*"))
+        assert nfa.accepts(["s"])
+        assert nfa.accepts(["h", "h", "s"])
+        assert nfa.accepts(["h", "s", "h"])
+        assert not nfa.accepts(["h", "h"])
+
+    def test_wildcard(self):
+        nfa = thompson_nfa(parse_rpq(". a"))
+        assert nfa.accepts(["z", "a"])
+        assert nfa.accepts(["a", "a"])
+        assert not nfa.accepts(["a"])
+
+
+class TestShape:
+    def test_single_initial_and_final(self):
+        nfa = thompson_nfa(parse_rpq("(a | b)* c{2,4}"))
+        assert len(nfa.initial) == 1
+        assert len(nfa.final) == 1
+
+    def test_linear_size(self):
+        """O(|R|) states and transitions (Theorem 19)."""
+        for expression in ["a", "a b c d", "(a | b)* c", "a+ b? (c | a)*"]:
+            ast = desugar(parse_rpq(expression))
+            nfa = thompson_nfa(ast)
+            size = ast_size(ast)
+            assert nfa.n_states <= 2 * size + 2
+            assert nfa.transition_count <= 4 * size + 4
+
+    def test_transitions_are_atomic(self):
+        """Every non-ε transition corresponds to one atom occurrence."""
+        nfa = thompson_nfa(parse_rpq("a a | a"))
+        concrete = [
+            (q, l, p) for q, l, p in nfa.transitions() if l is not EPSILON
+        ]
+        assert len(concrete) == 3
+
+
+@given(regex_asts())
+@settings(max_examples=60)
+def test_acceptance_matches_glushkov(ast):
+    """Thompson and Glushkov must define the same language."""
+    from repro.automata import glushkov_nfa
+
+    thompson = thompson_nfa(ast)
+    glushkov = glushkov_nfa(ast)
+    for word in _WORDS:
+        assert thompson.accepts(word) == glushkov.accepts(word), (ast, word)

@@ -1,0 +1,97 @@
+"""Unit tests for the Ackerman–Shallit shortest-word enumerator."""
+
+from hypothesis import given, settings
+
+from repro.baselines.all_shortest_words import all_shortest_words
+
+from tests.conftest import small_nfas
+
+
+def _as_tables(nfa):
+    """NFA -> the generic (initial, final, transitions) interface."""
+    transitions = {}
+    for q in nfa.states():
+        moves = {}
+        for label, targets in nfa.transitions_from(q):
+            moves[label] = list(targets)
+        if moves:
+            transitions[q] = moves
+    return set(nfa.initial), set(nfa.final), transitions
+
+
+class TestHandBuilt:
+    def test_single_word(self):
+        transitions = {0: {"a": [1]}, 1: {"b": [2]}}
+        words = list(all_shortest_words({0}, {2}, transitions))
+        assert words == [("a", "b")]
+
+    def test_lexicographic_order(self):
+        # Shortest words of length 2: ab, ba, bb say.
+        transitions = {
+            0: {"a": [1], "b": [2]},
+            1: {"b": [3]},
+            2: {"a": [3], "b": [3]},
+        }
+        words = list(all_shortest_words({0}, {3}, transitions))
+        assert words == [("a", "b"), ("b", "a"), ("b", "b")]
+
+    def test_no_duplicates_on_nondeterminism(self):
+        # Two runs for "a": the word must appear once.
+        transitions = {0: {"a": [1, 2]}}
+        words = list(all_shortest_words({0}, {1, 2}, transitions))
+        assert words == [("a",)]
+
+    def test_epsilon_word(self):
+        words = list(all_shortest_words({0}, {0}, {}))
+        assert words == [()]
+
+    def test_empty_language(self):
+        transitions = {0: {"a": [0]}}
+        assert list(all_shortest_words({0}, {9}, transitions)) == []
+
+    def test_only_shortest_length_emitted(self):
+        # Accepts a (length 1) and bb (length 2): only "a" is shortest.
+        transitions = {0: {"a": [3], "b": [1]}, 1: {"b": [3]}}
+        words = list(all_shortest_words({0}, {3}, transitions))
+        assert words == [("a",)]
+
+    def test_integer_symbols_sorted(self):
+        transitions = {0: {7: [1], 2: [1]}}
+        words = list(all_shortest_words({0}, {1}, transitions))
+        assert words == [(2,), (7,)]
+
+    def test_multiple_initial_states(self):
+        transitions = {0: {"a": [2]}, 1: {"b": [2]}}
+        words = list(all_shortest_words({0, 1}, {2}, transitions))
+        assert words == [("a",), ("b",)]
+
+
+class TestProperties:
+    @given(small_nfas())
+    @settings(max_examples=60, deadline=None)
+    def test_matches_bruteforce(self, nfa):
+        """Against exhaustive word enumeration up to the NFA's λ."""
+        initial, final, transitions = _as_tables(nfa)
+        got = list(all_shortest_words(initial, final, transitions))
+
+        lam = nfa.shortest_accepted_length()
+        if lam is None:
+            assert got == []
+            return
+        # Brute force: all words over the alphabet of length λ.
+        from itertools import product
+
+        alphabet = sorted(nfa.alphabet())
+        expected = [
+            word
+            for word in product(alphabet, repeat=lam)
+            if nfa.accepts(list(word))
+        ]
+        assert got == expected  # Same set AND same (lex) order.
+
+    @given(small_nfas())
+    @settings(max_examples=40, deadline=None)
+    def test_no_duplicates(self, nfa):
+        initial, final, transitions = _as_tables(nfa)
+        got = list(all_shortest_words(initial, final, transitions))
+        assert len(set(got)) == len(got)

@@ -1,0 +1,69 @@
+"""Sanity tests for the brute-force oracle itself."""
+
+import pytest
+
+from repro.automata import NFA
+from repro.baselines.oracle import oracle_answer_set, oracle_lam
+from repro.graph import GraphBuilder
+from repro.workloads.fraud import (
+    EXAMPLE9_EDGE_IDS,
+    example9_automaton,
+    example9_graph,
+)
+
+
+class TestOracleLam:
+    def test_example9(self):
+        graph = example9_graph()
+        s, t = graph.vertex_id("Alix"), graph.vertex_id("Bob")
+        assert oracle_lam(graph, example9_automaton(), s, t) == 3
+
+    def test_unreachable(self):
+        graph = example9_graph()
+        s, t = graph.vertex_id("Bob"), graph.vertex_id("Alix")
+        assert oracle_lam(graph, example9_automaton(), s, t) is None
+
+    def test_lambda_zero(self):
+        graph = example9_graph()
+        nfa = NFA(1)
+        nfa.set_initial(0)
+        nfa.set_final(0)
+        alix = graph.vertex_id("Alix")
+        assert oracle_lam(graph, nfa, alix, alix) == 0
+
+
+class TestOracleAnswers:
+    def test_example9_answers(self):
+        graph = example9_graph()
+        s, t = graph.vertex_id("Alix"), graph.vertex_id("Bob")
+        answers = oracle_answer_set(graph, example9_automaton(), s, t)
+        expected = sorted(
+            tuple(EXAMPLE9_EDGE_IDS[n] for n in names)
+            for names in (
+                ("e1", "e5", "e8"),
+                ("e1", "e6", "e8"),
+                ("e2", "e3", "e7"),
+                ("e2", "e4", "e8"),
+            )
+        )
+        assert answers == expected
+
+    def test_budget_guard(self):
+        # A dense blow-up instance with a tiny budget must abort.
+        b = GraphBuilder()
+        for i in range(6):
+            for _ in range(4):
+                b.add_edge(f"v{i}", f"v{i+1}", ["a"])
+        graph = b.build()
+        nfa = NFA(1)
+        nfa.add_transition(0, "a", 0)
+        nfa.set_initial(0)
+        nfa.set_final(0)
+        with pytest.raises(RuntimeError):
+            oracle_answer_set(
+                graph,
+                nfa,
+                graph.vertex_id("v0"),
+                graph.vertex_id("v6"),
+                max_walks=10,
+            )

@@ -1,0 +1,152 @@
+"""Unit tests for the measurement harness."""
+
+import time
+
+import pytest
+
+from repro.bench import (
+    DelayStats,
+    format_table,
+    loglog_slope,
+    measure_delays,
+    measure_preprocessing,
+    time_call,
+)
+
+
+class TestMeasureDelays:
+    def test_counts_outputs(self):
+        stats = measure_delays(lambda: iter(range(5)))
+        assert stats.outputs == 5
+        assert len(stats.delays_s) == 4
+
+    def test_limit(self):
+        stats = measure_delays(lambda: iter(range(100)), limit=3)
+        assert stats.outputs == 3
+
+    def test_limit_closes_generators(self):
+        closed = []
+
+        def gen():
+            try:
+                for i in range(100):
+                    yield i
+            finally:
+                closed.append(True)
+
+        measure_delays(gen, limit=2)
+        assert closed == [True]
+
+    def test_empty_iterator(self):
+        stats = measure_delays(lambda: iter(()))
+        assert stats.outputs == 0
+        assert stats.max_delay_s == 0.0
+        assert stats.mean_delay_s == 0.0
+
+    def test_delays_measure_sleep(self):
+        def slow():
+            yield 1
+            time.sleep(0.01)
+            yield 2
+
+        stats = measure_delays(slow)
+        assert stats.max_delay_s >= 0.009
+
+    def test_percentile(self):
+        stats = DelayStats(delays_s=[0.1, 0.2, 0.3, 0.4, 1.0])
+        assert stats.percentile_delay_s(0.5) == 0.3
+        assert stats.percentile_delay_s(0.99) == 1.0
+        assert DelayStats().percentile_delay_s(0.9) == 0.0
+
+
+class TestTimers:
+    def test_measure_preprocessing(self):
+        elapsed = measure_preprocessing(lambda: time.sleep(0.005))
+        assert elapsed >= 0.004
+
+    def test_time_call_best_of(self):
+        assert time_call(lambda: None, repeat=2) < 0.01
+
+
+class TestLogLogSlope:
+    def test_linear(self):
+        xs = [10, 100, 1000]
+        ys = [5.0, 50.0, 500.0]
+        assert abs(loglog_slope(xs, ys) - 1.0) < 1e-9
+
+    def test_quadratic(self):
+        xs = [10, 100, 1000]
+        ys = [x * x for x in xs]
+        assert abs(loglog_slope(xs, ys) - 2.0) < 1e-9
+
+    def test_constant_is_zero(self):
+        assert abs(loglog_slope([10, 100], [7.0, 7.0])) < 1e-9
+
+    def test_bad_input(self):
+        with pytest.raises(ValueError):
+            loglog_slope([1], [1])
+        with pytest.raises(ValueError):
+            loglog_slope([5, 5], [1, 2])
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["name", "value"], [["x", 1], ["long-name", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+
+    def test_float_rendering(self):
+        text = format_table(["v"], [[0.000123], [123456.0], [3.14159]])
+        assert "0.000123" in text
+        assert "123456" in text
+        assert "3.14" in text
+
+
+class TestExperimentExtraction:
+    def test_extract_tables(self):
+        from repro.bench.experiments import extract_tables
+
+        output = """\
+some preamble
+## EXP-FOO (a): first table
+col1  col2
+----  ----
+1     2
+.
+## EXP-BAR: second table
+x
+--
+9
+..
+1 passed in 2s
+"""
+        tables = extract_tables(output)
+        assert len(tables) == 2
+        assert tables[0].startswith("## EXP-FOO")
+        assert "1     2" in tables[0]
+        assert tables[1].startswith("## EXP-BAR")
+        assert "9" in tables[1]
+        assert "passed" not in tables[1]
+
+    def test_extract_handles_trailing_table(self):
+        from repro.bench.experiments import extract_tables
+
+        tables = extract_tables("## EXP-X: only\nrow")
+        assert tables == ["## EXP-X: only\nrow"]
+
+    def test_runner_on_subset(self, tmp_path):
+        """End-to-end: regenerate the Figure 3 tables via the tool."""
+        import os
+
+        from repro.bench.experiments import main
+
+        out = tmp_path / "tables.txt"
+        cwd = os.getcwd()
+        code = main(["-k", "figure3", "-o", str(out)])
+        assert cwd == os.getcwd()
+        assert code == 0
+        text = out.read_text()
+        assert "## EXP-F3" in text
+        assert "## EXP-E9" in text

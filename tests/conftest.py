@@ -1,0 +1,157 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.automata.nfa import NFA
+from repro.graph.builder import GraphBuilder
+from repro.graph.database import Graph
+from repro.workloads.fraud import example9_automaton, example9_graph
+
+# ---------------------------------------------------------------------------
+# Static fixtures
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def fig1_graph() -> Graph:
+    """The paper's Figure 1 database."""
+    return example9_graph()
+
+
+@pytest.fixture
+def fig3_automaton() -> NFA:
+    """The paper's Figure 3 automaton for ``h* s (h + s)*``."""
+    return example9_automaton()
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis strategies for random small instances
+# ---------------------------------------------------------------------------
+
+_ALPHABET = ("a", "b", "c")
+
+
+@st.composite
+def small_graphs(
+    draw,
+    max_vertices: int = 6,
+    max_edges: int = 12,
+    alphabet: Tuple[str, ...] = _ALPHABET,
+) -> Graph:
+    """Random multi-labeled multi-edge graphs (self-loops allowed)."""
+    n = draw(st.integers(min_value=1, max_value=max_vertices))
+    m = draw(st.integers(min_value=0, max_value=max_edges))
+    builder = GraphBuilder()
+    builder.add_vertices([f"v{i}" for i in range(n)])
+    for _ in range(m):
+        src = draw(st.integers(min_value=0, max_value=n - 1))
+        tgt = draw(st.integers(min_value=0, max_value=n - 1))
+        labels = draw(
+            st.sets(
+                st.sampled_from(alphabet), min_size=1, max_size=len(alphabet)
+            )
+        )
+        builder.add_edge(f"v{src}", f"v{tgt}", sorted(labels))
+    return builder.build()
+
+
+@st.composite
+def small_nfas(
+    draw,
+    max_states: int = 4,
+    alphabet: Tuple[str, ...] = _ALPHABET,
+    allow_epsilon: bool = False,
+) -> NFA:
+    """Random NFAs over the same alphabet as :func:`small_graphs`."""
+    from repro.automata.nfa import EPSILON
+
+    n = draw(st.integers(min_value=1, max_value=max_states))
+    nfa = NFA(n)
+    n_transitions = draw(st.integers(min_value=0, max_value=3 * n))
+    symbols: List[object] = list(alphabet)
+    if allow_epsilon:
+        symbols.append(EPSILON)
+    for _ in range(n_transitions):
+        q = draw(st.integers(min_value=0, max_value=n - 1))
+        p = draw(st.integers(min_value=0, max_value=n - 1))
+        label = draw(st.sampled_from(symbols))
+        nfa.add_transition(q, label, p)
+    initial = draw(
+        st.sets(st.integers(min_value=0, max_value=n - 1), min_size=1)
+    )
+    final = draw(st.sets(st.integers(min_value=0, max_value=n - 1)))
+    nfa.set_initial(*initial)
+    nfa.set_final(*final)
+    return nfa
+
+
+@st.composite
+def small_instances(draw, allow_epsilon: bool = False):
+    """A full Distinct Shortest Walks instance ``(D, A, s, t)``."""
+    graph = draw(small_graphs())
+    nfa = draw(small_nfas(allow_epsilon=allow_epsilon))
+    s = draw(st.integers(min_value=0, max_value=graph.vertex_count - 1))
+    t = draw(st.integers(min_value=0, max_value=graph.vertex_count - 1))
+    return graph, nfa, s, t
+
+
+@st.composite
+def regex_asts(draw, max_depth: int = 3):
+    """Random regex ASTs over the shared alphabet (sugar included)."""
+    from repro.automata.regex_ast import (
+        AnyAtom,
+        Concat,
+        EpsilonAtom,
+        Label,
+        Optional,
+        Plus,
+        Repeat,
+        Star,
+        Union,
+    )
+
+    def node(depth: int):
+        atoms = [
+            st.sampled_from([Label("a"), Label("b"), Label("c")]),
+            st.just(EpsilonAtom()),
+            st.just(AnyAtom()),
+        ]
+        if depth <= 0:
+            return draw(st.one_of(atoms))
+        kind = draw(
+            st.sampled_from(
+                ["atom", "concat", "union", "star", "plus", "opt", "repeat"]
+            )
+        )
+        if kind == "atom":
+            return draw(st.one_of(atoms))
+        if kind == "concat":
+            return Concat((node(depth - 1), node(depth - 1)))
+        if kind == "union":
+            return Union((node(depth - 1), node(depth - 1)))
+        if kind == "star":
+            return Star(node(depth - 1))
+        if kind == "plus":
+            return Plus(node(depth - 1))
+        if kind == "opt":
+            return Optional(node(depth - 1))
+        lo = draw(st.integers(min_value=0, max_value=2))
+        hi = draw(st.one_of(st.none(), st.integers(min_value=lo, max_value=3)))
+        return Repeat(node(depth - 1), lo, hi)
+
+    return node(max_depth)
+
+
+# ---------------------------------------------------------------------------
+# Helpers
+# ---------------------------------------------------------------------------
+
+
+def edge_sets(walks) -> List[Tuple[int, ...]]:
+    """Edge tuples of an iterable of walks, in enumeration order."""
+    return [w.edges for w in walks]

@@ -1,0 +1,230 @@
+"""Unit tests for ``Annotate`` — including the Lemma 10 invariants."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.baselines.oracle import oracle_lam
+from repro.core.annotate import annotate
+from repro.core.compile import compile_query
+from repro.workloads.fraud import (
+    EXAMPLE9_EDGE_IDS,
+    example9_automaton,
+    example9_graph,
+)
+
+from tests.conftest import small_instances
+
+
+@pytest.fixture
+def annotated():
+    graph = example9_graph()
+    cq = compile_query(graph, example9_automaton())
+    ann = annotate(cq, graph.vertex_id("Alix"), graph.vertex_id("Bob"))
+    return graph, cq, ann
+
+
+class TestExample9Lengths:
+    """The L maps must match the paper's Figure 3 exactly."""
+
+    def test_lam(self, annotated):
+        _, _, ann = annotated
+        assert ann.lam == 3
+
+    def test_L_values(self, annotated):
+        graph, _, ann = annotated
+        expected = {
+            "Alix": {0: 0},
+            "Bob": {0: 2, 1: 3},
+            "Cassie": {0: 1, 1: 2},
+            "Dan": {0: 1, 1: 1},
+            "Eve": {0: 2, 1: 2},
+        }
+        for name, values in expected.items():
+            assert ann.L[graph.vertex_id(name)] == values, name
+
+    def test_target_states(self, annotated):
+        _, _, ann = annotated
+        assert ann.target_states == frozenset({1})
+
+
+class TestExample9BackMaps:
+    """The B maps must match Figure 3 (as multisets per cell)."""
+
+    def test_B_values(self, annotated):
+        graph, _, ann = annotated
+        # Figure 3, rewritten as {vertex: {state: {tgt_idx: multiset}}}.
+        expected = {
+            "Bob": {0: {1: [0]}, 1: {0: [1, 0, 1], 1: [1]}},
+            "Cassie": {0: {1: [0]}, 1: {0: [0, 1]}},
+            "Dan": {0: {0: [0]}, 1: {0: [0]}},
+            "Eve": {0: {0: [0], 1: [0]}, 1: {0: [1], 2: [0]}},
+            "Alix": {},
+        }
+        for name, per_state in expected.items():
+            v = graph.vertex_id(name)
+            got = ann.B[v]
+            assert set(got) == set(per_state), name
+            for state, cells in per_state.items():
+                assert set(got[state]) == set(cells), (name, state)
+                for idx, preds in cells.items():
+                    assert sorted(got[state][idx]) == sorted(preds), (
+                        name,
+                        state,
+                        idx,
+                    )
+
+
+class TestEdgeCases:
+    def test_no_matching_walk(self):
+        graph = example9_graph()
+        cq = compile_query(graph, example9_automaton())
+        # Bob has no outgoing edges: nothing reaches Alix from Bob.
+        ann = annotate(cq, graph.vertex_id("Bob"), graph.vertex_id("Alix"))
+        assert ann.lam is None
+        assert ann.target_states == frozenset()
+
+    def test_lambda_zero(self):
+        """s == t with ε ∈ L(A): the trivial walk is the answer."""
+        from repro.automata import NFA
+
+        graph = example9_graph()
+        nfa = NFA(1)
+        nfa.add_transition(0, "h", 0)
+        nfa.set_initial(0)
+        nfa.set_final(0)
+        cq = compile_query(graph, nfa)
+        alix = graph.vertex_id("Alix")
+        ann = annotate(cq, alix, alix)
+        assert ann.lam == 0
+        assert ann.target_states == frozenset({0})
+
+    def test_source_equals_target_with_cycle(self):
+        """s == t but ε ∉ L(A): must find a genuine cycle."""
+        from repro.automata import NFA
+        from repro.graph import GraphBuilder
+
+        b = GraphBuilder()
+        b.add_edge("x", "y", ["a"])
+        b.add_edge("y", "x", ["a"])
+        graph = b.build()
+        # L(A) = (aa)+ — crucially ε ∉ L(A), so λ = 2, not 0.
+        nfa = NFA(3)
+        nfa.add_transition(0, "a", 1)
+        nfa.add_transition(1, "a", 2)
+        nfa.add_transition(2, "a", 1)
+        nfa.set_initial(0)
+        nfa.set_final(2)
+        cq = compile_query(graph, nfa)
+        x = graph.vertex_id("x")
+        ann = annotate(cq, x, x)
+        assert ann.lam == 2
+
+    def test_level_completes_after_stop(self):
+        """The whole BFS level λ runs to completion (all B entries)."""
+        graph, _, ann = (
+            example9_graph(),
+            None,
+            None,
+        )
+        cq = compile_query(graph, example9_automaton())
+        ann = annotate(cq, graph.vertex_id("Alix"), graph.vertex_id("Bob"))
+        # B_Bob[1] must have entries for BOTH e8 (ti 0) and e7 (ti 1),
+        # even though e8's entry alone triggers the stop flag.
+        bob = graph.vertex_id("Bob")
+        assert set(ann.B[bob][1]) == {0, 1}
+
+    def test_saturated_run_has_no_lam(self):
+        graph = example9_graph()
+        cq = compile_query(graph, example9_automaton())
+        ann = annotate(cq, graph.vertex_id("Alix"), saturate=True)
+        assert ann.saturated
+        assert ann.lam is None
+        # target_info recovers per-target λ.
+        assert ann.target_info(graph.vertex_id("Bob"))[0] == 3
+        assert ann.target_info(graph.vertex_id("Alix"))[0] is None
+
+
+class TestLemma10Properties:
+    """Property-based checks of Lemma 10 on random instances."""
+
+    @given(small_instances())
+    @settings(max_examples=60, deadline=None)
+    def test_L_equals_oracle_product_distance(self, instance):
+        """L_u[p] is the product-BFS distance of (u, p) — checked
+        against an independent product BFS."""
+        graph, nfa, s, t = instance
+        cq = compile_query(graph, nfa)
+        ann = annotate(cq, s, saturate=True)
+
+        # Independent reference: plain BFS over (vertex, state) pairs.
+        dist = {}
+        frontier = []
+        for p in cq.initial_closure:
+            dist[(s, p)] = 0
+            frontier.append((s, p))
+        level = 0
+        while frontier:
+            level += 1
+            current, frontier = frontier, []
+            for v, q in current:
+                for e in graph.out_edges(v):
+                    u = graph.tgt(e)
+                    for a in graph.labels(e):
+                        for p in cq.delta[q].get(a, ()):
+                            if (u, p) not in dist:
+                                dist[(u, p)] = level
+                                frontier.append((u, p))
+
+        for u in graph.vertices():
+            for p in range(cq.n_states):
+                assert ann.L[u].get(p) == dist.get((u, p)), (u, p)
+
+    @given(small_instances())
+    @settings(max_examples=60, deadline=None)
+    def test_lam_matches_oracle(self, instance):
+        graph, nfa, s, t = instance
+        cq = compile_query(graph, nfa)
+        ann = annotate(cq, s, t)
+        assert ann.lam == oracle_lam(graph, nfa, s, t)
+
+    @given(small_instances())
+    @settings(max_examples=60, deadline=None)
+    def test_B_entries_are_witnessed(self, instance):
+        """Lemma 10(2), soundness direction: every B entry corresponds
+        to a real transition firing from the right level."""
+        graph, nfa, s, t = instance
+        cq = compile_query(graph, nfa)
+        ann = annotate(cq, s, saturate=True)
+        for u in graph.vertices():
+            for p, cells in ann.B[u].items():
+                for idx, preds in cells.items():
+                    e = graph.in_edges(u)[idx]
+                    assert graph.tgt(e) == u
+                    for q in preds:
+                        v = graph.src(e)
+                        # q is reachable at v one level earlier...
+                        assert ann.L[v][q] == ann.L[u][p] - 1
+                        # ...and some label of e fires q -> p.
+                        fired = any(
+                            p in cq.delta[q].get(a, ())
+                            for a in graph.labels(e)
+                        )
+                        assert fired
+
+    @given(small_instances())
+    @settings(max_examples=60, deadline=None)
+    def test_B_size_bound(self, instance):
+        """Lemma 10(3): |B_u[p][i]| ≤ Σ_a |Δ⁻¹(a, p)|."""
+        graph, nfa, s, t = instance
+        cq = compile_query(graph, nfa)
+        ann = annotate(cq, s, saturate=True)
+        # Precompute Σ_a |Δ⁻¹(a, p)| per state p.
+        bound = [0] * cq.n_states
+        for q in range(cq.n_states):
+            for a, targets in cq.delta[q].items():
+                for p in targets:
+                    bound[p] += 1
+        for u in graph.vertices():
+            for p, cells in ann.B[u].items():
+                for preds in cells.values():
+                    assert len(preds) <= bound[p]

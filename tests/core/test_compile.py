@@ -1,0 +1,114 @@
+"""Unit tests for query compilation."""
+
+import pytest
+
+from repro.automata import ANY, EPSILON, NFA, thompson_nfa
+from repro.automata.regex_parser import parse_rpq
+from repro.core.compile import compile_query
+from repro.exceptions import QueryError
+from repro.graph import GraphBuilder
+from repro.workloads.fraud import example9_automaton, example9_graph
+
+
+@pytest.fixture
+def graph():
+    return example9_graph()
+
+
+class TestBasics:
+    def test_relabeling(self, graph):
+        cq = compile_query(graph, example9_automaton())
+        h, s = graph.label_id("h"), graph.label_id("s")
+        assert cq.delta[0][h] == (0,)
+        assert cq.delta[0][s] == (1,)
+        assert cq.delta[1][h] == (1,)
+        assert cq.n_states == 2
+        assert cq.initial == (0,)
+        assert cq.final == frozenset({1})
+
+    def test_size_accounting(self, graph):
+        cq = compile_query(graph, example9_automaton())
+        assert cq.delta_size == 4
+        assert cq.size() == 2 + 4
+
+    def test_absent_labels_dropped(self, graph):
+        nfa = NFA(2)
+        nfa.add_transition(0, "h", 1)
+        nfa.add_transition(0, "never_in_graph", 1)
+        nfa.set_initial(0)
+        nfa.set_final(1)
+        cq = compile_query(graph, nfa)
+        assert cq.delta_size == 1
+
+    def test_no_initial_state_rejected(self, graph):
+        nfa = NFA(1)
+        nfa.set_final(0)
+        with pytest.raises(QueryError):
+            compile_query(graph, nfa)
+        with pytest.raises(QueryError):
+            compile_query(graph, NFA(0))
+
+    def test_repr(self, graph):
+        assert "|Q|=2" in repr(compile_query(graph, example9_automaton()))
+
+
+class TestWildcard:
+    def test_any_expands_to_alphabet(self, graph):
+        nfa = NFA(2)
+        nfa.add_transition(0, ANY, 1)
+        nfa.set_initial(0)
+        nfa.set_final(1)
+        cq = compile_query(graph, nfa)
+        # Expanded over {h, s}.
+        assert set(cq.delta[0]) == {graph.label_id("h"), graph.label_id("s")}
+
+    def test_any_merges_with_concrete(self, graph):
+        nfa = NFA(3)
+        nfa.add_transition(0, ANY, 1)
+        nfa.add_transition(0, "h", 2)
+        nfa.set_initial(0)
+        nfa.set_final(1, 2)
+        cq = compile_query(graph, nfa)
+        h = graph.label_id("h")
+        assert set(cq.delta[0][h]) == {1, 2}
+
+
+class TestEpsilonElimination:
+    def test_closure_applied_to_targets(self, graph):
+        nfa = NFA(3)
+        nfa.add_transition(0, "h", 1)
+        nfa.add_transition(1, EPSILON, 2)
+        nfa.set_initial(0)
+        nfa.set_final(2)
+        cq = compile_query(graph, nfa)
+        assert not cq.has_eps
+        assert set(cq.delta[0][graph.label_id("h")]) == {1, 2}
+
+    def test_initial_closure(self, graph):
+        nfa = NFA(2)
+        nfa.add_transition(0, EPSILON, 1)
+        nfa.add_transition(1, "h", 1)
+        nfa.set_initial(0)
+        nfa.set_final(1)
+        cq = compile_query(graph, nfa)
+        assert cq.initial_closure == frozenset({0, 1})
+
+    def test_epsilon_cycle(self, graph):
+        nfa = NFA(2)
+        nfa.add_transition(0, EPSILON, 1)
+        nfa.add_transition(1, EPSILON, 0)
+        nfa.add_transition(0, "h", 0)
+        nfa.set_initial(0)
+        nfa.set_final(1)
+        cq = compile_query(graph, nfa)
+        assert set(cq.delta[0][graph.label_id("h")]) == {0, 1}
+
+    def test_opt_out(self, graph):
+        nfa = thompson_nfa(parse_rpq("h s"))
+        cq = compile_query(graph, nfa, eliminate_epsilon=False)
+        assert cq.has_eps
+        assert sum(len(e) for e in cq.eps) > 0
+
+    def test_thompson_query_compiles_eps_free_by_default(self, graph):
+        cq = compile_query(graph, thompson_nfa(parse_rpq("h* s (h | s)*")))
+        assert not cq.has_eps

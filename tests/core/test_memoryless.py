@@ -1,0 +1,178 @@
+"""Unit tests for the memoryless enumeration (Theorem 18)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.annotate import annotate
+from repro.core.compile import compile_query
+from repro.core.enumerate import enumerate_walks
+from repro.core.memoryless import enumerate_memoryless, next_output
+from repro.core.trim import resumable_trim, trim
+from repro.workloads.fraud import example9_automaton, example9_graph
+
+from tests.conftest import small_instances
+
+
+def _setup(graph, nfa, s, t):
+    cq = compile_query(graph, nfa)
+    ann = annotate(cq, s, t)
+    return ann, trim(graph, ann), resumable_trim(graph, ann)
+
+
+class TestExample9:
+    def test_same_sequence_as_eager(self):
+        graph = example9_graph()
+        s, t = graph.vertex_id("Alix"), graph.vertex_id("Bob")
+        ann, trimmed, resumable = _setup(graph, example9_automaton(), s, t)
+        eager = [
+            w.edges
+            for w in enumerate_walks(
+                graph, trimmed, ann.lam, t, ann.target_states
+            )
+        ]
+        lazy = [
+            w.edges
+            for w in enumerate_memoryless(
+                graph, resumable, ann.lam, t, ann.target_states
+            )
+        ]
+        assert lazy == eager
+
+    def test_resume_from_any_output(self):
+        """next_output(w_i) returns w_{i+1}, from any starting point —
+        the defining property of a memoryless algorithm."""
+        graph = example9_graph()
+        s, t = graph.vertex_id("Alix"), graph.vertex_id("Bob")
+        ann, trimmed, resumable = _setup(graph, example9_automaton(), s, t)
+        eager = [
+            w.edges
+            for w in enumerate_walks(
+                graph, trimmed, ann.lam, t, ann.target_states
+            )
+        ]
+        for i, current in enumerate(eager):
+            successor = next_output(
+                graph, resumable, ann.lam, t, ann.target_states, current
+            )
+            if i + 1 < len(eager):
+                assert successor is not None
+                assert successor.edges == eager[i + 1]
+            else:
+                assert successor is None
+
+    def test_first_output(self):
+        graph = example9_graph()
+        s, t = graph.vertex_id("Alix"), graph.vertex_id("Bob")
+        ann, trimmed, resumable = _setup(graph, example9_automaton(), s, t)
+        first = next_output(
+            graph, resumable, ann.lam, t, ann.target_states, None
+        )
+        eager = next(
+            iter(
+                enumerate_walks(
+                    graph, trimmed, ann.lam, t, ann.target_states
+                )
+            )
+        )
+        assert first.edges == eager.edges
+
+    def test_structure_never_mutated(self):
+        """Calling next_output repeatedly must not change the shared
+        resumable structure (it is read-only by design)."""
+        graph = example9_graph()
+        s, t = graph.vertex_id("Alix"), graph.vertex_id("Bob")
+        ann, _, resumable = _setup(graph, example9_automaton(), s, t)
+        w = next_output(graph, resumable, ann.lam, t, ann.target_states)
+        # Same call twice: same result (no hidden cursor state).
+        w2 = next_output(graph, resumable, ann.lam, t, ann.target_states)
+        assert w.edges == w2.edges
+
+
+class TestEdgeCases:
+    def test_empty_answer_set(self):
+        graph = example9_graph()
+        s, t = graph.vertex_id("Bob"), graph.vertex_id("Alix")
+        ann, _, resumable = _setup(graph, example9_automaton(), s, t)
+        assert ann.lam is None
+        assert (
+            next_output(graph, resumable, ann.lam, t, ann.target_states)
+            is None
+        )
+        assert (
+            list(
+                enumerate_memoryless(
+                    graph, resumable, ann.lam, t, ann.target_states
+                )
+            )
+            == []
+        )
+
+    def test_lam_zero(self):
+        from repro.automata import NFA
+
+        graph = example9_graph()
+        nfa = NFA(1)
+        nfa.add_transition(0, "h", 0)
+        nfa.set_initial(0)
+        nfa.set_final(0)
+        alix = graph.vertex_id("Alix")
+        ann, _, resumable = _setup(graph, nfa, alix, alix)
+        assert ann.lam == 0
+        walks = list(
+            enumerate_memoryless(
+                graph, resumable, ann.lam, alix, ann.target_states
+            )
+        )
+        assert len(walks) == 1 and walks[0].length == 0
+        # The trivial walk has no successor.
+        assert (
+            next_output(
+                graph, resumable, ann.lam, alix, ann.target_states, ()
+            )
+            is None
+        )
+
+
+class TestProperties:
+    @given(small_instances())
+    @settings(max_examples=60, deadline=None)
+    def test_memoryless_equals_eager(self, instance):
+        graph, nfa, s, t = instance
+        ann, trimmed, resumable = _setup(graph, nfa, s, t)
+        eager = [
+            w.edges
+            for w in enumerate_walks(
+                graph, trimmed, ann.lam, t, ann.target_states
+            )
+        ]
+        lazy = [
+            w.edges
+            for w in enumerate_memoryless(
+                graph, resumable, ann.lam, t, ann.target_states
+            )
+        ]
+        assert lazy == eager
+
+    @given(small_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_resume_property(self, instance):
+        graph, nfa, s, t = instance
+        ann, trimmed, resumable = _setup(graph, nfa, s, t)
+        eager = [
+            w.edges
+            for w in enumerate_walks(
+                graph, trimmed, ann.lam, t, ann.target_states
+            )
+        ]
+        if not eager or eager == [()]:
+            return
+        for i, current in enumerate(eager):
+            successor = next_output(
+                graph, resumable, ann.lam, t, ann.target_states, current
+            )
+            expected = eager[i + 1] if i + 1 < len(eager) else None
+            if expected is None:
+                assert successor is None
+            else:
+                assert successor is not None
+                assert successor.edges == expected

@@ -1,0 +1,111 @@
+"""Unit tests for one-source-to-many-targets (Section 5.3)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.engine import DistinctShortestWalks
+from repro.core.multi_target import MultiTargetShortestWalks
+from repro.workloads.fraud import example9_automaton, example9_graph
+
+from tests.conftest import small_instances
+
+
+@pytest.fixture
+def mt():
+    return MultiTargetShortestWalks(
+        example9_graph(), example9_automaton(), "Alix"
+    )
+
+
+class TestExample9:
+    def test_reached_targets(self, mt):
+        assert sorted(mt.reached_target_names()) == [
+            "Bob",
+            "Cassie",
+            "Dan",
+            "Eve",
+        ]
+
+    def test_lams(self, mt):
+        assert mt.lam_for("Bob") == 3
+        assert mt.lam_for("Dan") == 1
+        assert mt.lam_for("Cassie") == 2
+        assert mt.lam_for("Eve") == 2
+        assert mt.lam_for("Alix") is None  # ε ∉ L(A), no cycle back.
+
+    def test_walks_to_bob_match_single_target(self, mt):
+        single = sorted(
+            w.edges
+            for w in DistinctShortestWalks(
+                example9_graph(), example9_automaton(), "Alix", "Bob"
+            ).enumerate()
+        )
+        multi = sorted(w.edges for w in mt.walks_to("Bob"))
+        assert multi == single
+
+    def test_sequential_targets_share_structures(self, mt):
+        """Enumerate to several targets one after the other."""
+        count_bob = sum(1 for _ in mt.walks_to("Bob"))
+        count_eve = sum(1 for _ in mt.walks_to("Eve"))
+        count_bob_again = sum(1 for _ in mt.walks_to("Bob"))
+        assert count_bob == count_bob_again == 4
+        assert count_eve >= 1
+
+    def test_all_walks(self, mt):
+        pairs = list(mt.all_walks())
+        targets = {name for name, _ in pairs}
+        assert targets == {"Bob", "Cassie", "Dan", "Eve"}
+        # Walks to each target are grouped and complete.
+        assert sum(1 for name, _ in pairs if name == "Bob") == 4
+
+    def test_all_walks_with_explicit_targets(self, mt):
+        pairs = list(mt.all_walks(["Dan", "Bob"]))
+        assert [name for name, _ in pairs][:1] == ["Dan"]
+        assert sum(1 for name, _ in pairs if name == "Bob") == 4
+
+    def test_unreached_target_is_empty(self, mt):
+        assert list(mt.walks_to("Alix")) == []
+
+    def test_preprocess_idempotent(self, mt):
+        mt.preprocess()
+        annotation = mt._annotation
+        mt.preprocess()
+        assert mt._annotation is annotation
+
+
+class TestCheapestMultiTarget:
+    def test_costed(self):
+        from repro.graph import GraphBuilder
+        from repro.automata import NFA
+
+        b = GraphBuilder()
+        b.add_edge("s", "u", ["a"], cost=4)
+        b.add_edge("s", "m", ["a"], cost=1)
+        b.add_edge("m", "u", ["a"], cost=1)
+        b.add_edge("m", "w", ["a"], cost=7)
+        nfa = NFA(1)
+        nfa.add_transition(0, "a", 0)
+        nfa.set_initial(0)
+        nfa.set_final(0)
+        mt = MultiTargetShortestWalks(b.build(), nfa, "s", cheapest=True)
+        assert mt.lam_for("u") == 2
+        assert mt.lam_for("w") == 8
+        assert mt.lam_for("s") == 0  # ε ∈ L(A): trivial walk.
+        walks_u = list(mt.walks_to("u"))
+        assert len(walks_u) == 1 and walks_u[0].cost() == 2
+
+
+class TestProperties:
+    @given(small_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_multi_target_equals_per_target_runs(self, instance):
+        """For every vertex t, the multi-target enumeration equals an
+        independent single-target run."""
+        graph, nfa, s, _ = instance
+        mt = MultiTargetShortestWalks(graph, nfa, s)
+        for t in graph.vertices():
+            single_engine = DistinctShortestWalks(graph, nfa, s, t)
+            single = sorted(w.edges for w in single_engine.enumerate())
+            multi = sorted(w.edges for w in mt.walks_to(t))
+            assert multi == single, t
+            assert mt.lam_for(t) == single_engine.lam

@@ -1,0 +1,222 @@
+"""Unit tests for run-count multiplicities (Section 5.3)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.compile import compile_query
+from repro.core.engine import DistinctShortestWalks
+from repro.core.multiplicity import count_accepting_runs
+from repro.exceptions import QueryError
+from repro.workloads.fraud import (
+    EXAMPLE9_EDGE_IDS,
+    example9_automaton,
+    example9_graph,
+)
+
+from tests.conftest import small_instances
+
+
+def _edges(*names):
+    return tuple(EXAMPLE9_EDGE_IDS[n] for n in names)
+
+
+class TestExample9:
+    """Example 9 discusses each walk's accepted label words; since the
+    automaton is unambiguous, runs == accepted words."""
+
+    def test_w4_has_three_runs(self):
+        graph = example9_graph()
+        cq = compile_query(graph, example9_automaton())
+        # w4 = ⟨e2, e4, e8⟩ carries shh, hhs, shs — three runs.
+        assert count_accepting_runs(cq, _edges("e2", "e4", "e8")) == 3
+
+    def test_w1_w2_w3(self):
+        graph = example9_graph()
+        cq = compile_query(graph, example9_automaton())
+        assert count_accepting_runs(cq, _edges("e1", "e5", "e8")) == 1
+        assert count_accepting_runs(cq, _edges("e1", "e6", "e8")) == 2
+        assert count_accepting_runs(cq, _edges("e2", "e3", "e7")) == 2
+
+    def test_non_matching_walk_has_zero(self):
+        graph = example9_graph()
+        cq = compile_query(graph, example9_automaton())
+        assert count_accepting_runs(cq, _edges("e1", "e7")) == 0
+
+    def test_empty_walk(self):
+        graph = example9_graph()
+        cq = compile_query(graph, example9_automaton())
+        assert count_accepting_runs(cq, ()) == 0  # ε ∉ L.
+
+    def test_engine_integration(self):
+        graph = example9_graph()
+        engine = DistinctShortestWalks(
+            graph, example9_automaton(), "Alix", "Bob"
+        )
+        by_edges = {
+            w.edges: m for w, m in engine.enumerate_with_multiplicity()
+        }
+        assert by_edges == {
+            _edges("e2", "e4", "e8"): 3,
+            _edges("e1", "e5", "e8"): 1,
+            _edges("e1", "e6", "e8"): 2,
+            _edges("e2", "e3", "e7"): 2,
+        }
+
+    def test_epsilon_query_counts_on_eliminated(self):
+        """ε-NFAs are counted on the canonical eliminated automaton."""
+        from repro.automata import regex_to_nfa
+
+        graph = example9_graph()
+        engine = DistinctShortestWalks(
+            graph, regex_to_nfa("h* s (h | s)*"), "Alix", "Bob"
+        )
+        multiplicities = {
+            w.edges: m for w, m in engine.enumerate_with_multiplicity()
+        }
+        assert all(m >= 1 for m in multiplicities.values())
+
+    def test_eps_compiled_query_rejected(self):
+        from repro.automata import regex_to_nfa
+
+        graph = example9_graph()
+        cq = compile_query(
+            graph, regex_to_nfa("h s"), eliminate_epsilon=False
+        )
+        with pytest.raises(QueryError):
+            count_accepting_runs(cq, ())
+
+
+class TestAmbiguousCounting:
+    def test_runs_multiply_across_states(self):
+        """A two-way state split doubles the run count."""
+        from repro.automata import NFA
+        from repro.graph import GraphBuilder
+
+        b = GraphBuilder()
+        b.add_edge("x", "y", ["a"])
+        b.add_edge("y", "z", ["a"])
+        graph = b.build()
+        nfa = NFA(4)
+        nfa.add_transition(0, "a", 1)
+        nfa.add_transition(0, "a", 2)
+        nfa.add_transition(1, "a", 3)
+        nfa.add_transition(2, "a", 3)
+        nfa.set_initial(0)
+        nfa.set_final(3)
+        cq = compile_query(graph, nfa)
+        assert count_accepting_runs(cq, (0, 1)) == 2
+
+    def test_labels_multiply_runs(self):
+        """Two labels firing the same transition give two runs."""
+        from repro.automata import NFA
+        from repro.graph import GraphBuilder
+
+        b = GraphBuilder()
+        b.add_edge("x", "y", ["a", "b"])
+        graph = b.build()
+        nfa = NFA(2)
+        nfa.add_transition(0, "a", 1)
+        nfa.add_transition(0, "b", 1)
+        nfa.set_initial(0)
+        nfa.set_final(1)
+        cq = compile_query(graph, nfa)
+        assert count_accepting_runs(cq, (0,)) == 2
+
+
+class TestProperties:
+    @given(small_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_every_answer_has_positive_multiplicity(self, instance):
+        graph, nfa, s, t = instance
+        engine = DistinctShortestWalks(graph, nfa, s, t)
+        for walk, multiplicity in engine.enumerate_with_multiplicity():
+            assert multiplicity >= 1
+
+    @given(small_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_multiplicity_bounded_by_words_times_runs(self, instance):
+        """Multiplicity ≤ (number of label words) × |Q|^λ — a loose
+        sanity bound that catches sign/overflow style bugs."""
+        graph, nfa, s, t = instance
+        engine = DistinctShortestWalks(graph, nfa, s, t)
+        for walk, multiplicity in engine.enumerate_with_multiplicity():
+            n_words = 1
+            for labels in walk.label_sets():
+                n_words *= len(labels)
+            assert multiplicity <= n_words * (nfa.n_states ** max(walk.length, 1))
+
+
+class TestTrackedRuns:
+    """The §5.3 'keep track along the recursive calls' variant."""
+
+    def test_example9_tracked_matches_recompute(self):
+        from repro.workloads.fraud import example9_automaton, example9_graph
+
+        engine = DistinctShortestWalks(
+            example9_graph(), example9_automaton(), "Alix", "Bob"
+        )
+        recomputed = list(engine.enumerate_with_multiplicity())
+        tracked = list(
+            engine.enumerate_with_multiplicity(method="tracked")
+        )
+        assert [(w.edges, m) for w, m in tracked] == [
+            (w.edges, m) for w, m in recomputed
+        ]
+        # Example 9: w4 carries 3 suitable labels, w2/w3 carry 2, w1
+        # carries 1 — runs coincide with labels for this automaton.
+        assert sorted(m for _, m in tracked) == [1, 2, 2, 3]
+
+    def test_bad_method_rejected(self):
+        import pytest
+
+        from repro.exceptions import QueryError
+        from repro.workloads.fraud import example9_automaton, example9_graph
+
+        engine = DistinctShortestWalks(
+            example9_graph(), example9_automaton(), "Alix", "Bob"
+        )
+        with pytest.raises(QueryError, match="multiplicity method"):
+            list(engine.enumerate_with_multiplicity(method="bogus"))
+
+    def test_lambda_zero_tracked(self):
+        from repro.automata import NFA
+        from repro.workloads.fraud import example9_graph
+
+        nfa = NFA(1)
+        nfa.add_transition(0, "h", 0)
+        nfa.set_initial(0)
+        nfa.set_final(0)
+        engine = DistinctShortestWalks(
+            example9_graph(), nfa, "Alix", "Alix"
+        )
+        tracked = list(engine.enumerate_with_multiplicity(method="tracked"))
+        assert len(tracked) == 1
+        assert tracked[0][0].length == 0 and tracked[0][1] == 1
+
+    @given(small_instances())
+    @settings(max_examples=80, deadline=None)
+    def test_tracked_matches_recompute_random(self, instance):
+        graph, nfa, s, t = instance
+        engine = DistinctShortestWalks(graph, nfa, s, t)
+        recomputed = [
+            (w.edges, m) for w, m in engine.enumerate_with_multiplicity()
+        ]
+        tracked = [
+            (w.edges, m)
+            for w, m in engine.enumerate_with_multiplicity(method="tracked")
+        ]
+        assert tracked == recomputed
+
+    @given(small_instances(allow_epsilon=True))
+    @settings(max_examples=40, deadline=None)
+    def test_tracked_with_epsilon_queries(self, instance):
+        graph, nfa, s, t = instance
+        engine = DistinctShortestWalks(graph, nfa, s, t)
+        recomputed = [
+            (w.edges, m) for w, m in engine.enumerate_with_multiplicity()
+        ]
+        tracked = [
+            (w.edges, m)
+            for w, m in engine.enumerate_with_multiplicity(method="tracked")
+        ]
+        assert tracked == recomputed

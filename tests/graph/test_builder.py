@@ -1,0 +1,133 @@
+"""Unit tests for the graph builder."""
+
+import pytest
+
+from repro.exceptions import CostError, GraphError
+from repro.graph import GraphBuilder, validate_graph
+
+
+class TestVertices:
+    def test_add_vertex_idempotent(self):
+        b = GraphBuilder()
+        assert b.add_vertex("x") == b.add_vertex("x") == 0
+        assert b.vertex_count == 1
+
+    def test_add_vertices_order(self):
+        b = GraphBuilder()
+        assert b.add_vertices(["p", "q", "p"]) == [0, 1, 0]
+
+    def test_hashable_names(self):
+        b = GraphBuilder()
+        b.add_vertex(("tuple", 1))
+        b.add_vertex(42)
+        g = b.build()
+        assert g.vertex_name(0) == ("tuple", 1)
+
+
+class TestEdges:
+    def test_auto_vertex_creation(self):
+        b = GraphBuilder()
+        b.add_edge("x", "y", ["a"])
+        assert b.vertex_count == 2
+
+    def test_edge_ids_sequential(self):
+        b = GraphBuilder()
+        assert b.add_edge("x", "y", ["a"]) == 0
+        assert b.add_edge("y", "x", ["a"]) == 1
+
+    def test_duplicate_labels_deduped(self):
+        b = GraphBuilder()
+        b.add_edge("x", "y", ["a", "a", "b"])
+        g = b.build()
+        assert len(g.labels(0)) == 2
+
+    def test_empty_labels_rejected(self):
+        b = GraphBuilder()
+        with pytest.raises(GraphError):
+            b.add_edge("x", "y", [])
+
+    def test_bad_label_rejected(self):
+        b = GraphBuilder()
+        with pytest.raises(GraphError):
+            b.add_edge("x", "y", [""])
+        with pytest.raises(GraphError):
+            b.add_edge("x", "y", [42])
+
+    def test_add_edges_bulk(self):
+        b = GraphBuilder()
+        ids = b.add_edges([("x", "y", ["a"]), ("y", "z", ["b"])])
+        assert ids == [0, 1]
+
+    def test_self_loops_allowed(self):
+        b = GraphBuilder()
+        b.add_edge("x", "x", ["a"])
+        g = b.build()
+        assert g.src(0) == g.tgt(0)
+
+
+class TestCosts:
+    def test_positive_int_costs(self):
+        b = GraphBuilder()
+        b.add_edge("x", "y", ["a"], cost=7)
+        g = b.build()
+        assert g.has_costs
+        assert g.cost(0) == 7
+
+    def test_mixed_costs_default_to_one(self):
+        b = GraphBuilder()
+        b.add_edge("x", "y", ["a"], cost=7)
+        b.add_edge("y", "z", ["a"])
+        g = b.build()
+        assert g.cost(1) == 1
+
+    def test_zero_cost_rejected(self):
+        b = GraphBuilder()
+        with pytest.raises(CostError):
+            b.add_edge("x", "y", ["a"], cost=0)
+
+    def test_negative_cost_rejected(self):
+        b = GraphBuilder()
+        with pytest.raises(CostError):
+            b.add_edge("x", "y", ["a"], cost=-3)
+
+    def test_non_int_cost_rejected(self):
+        b = GraphBuilder()
+        with pytest.raises(CostError):
+            b.add_edge("x", "y", ["a"], cost=1.5)
+        with pytest.raises(CostError):
+            b.add_edge("x", "y", ["a"], cost=True)
+
+
+class TestBuild:
+    def test_built_graph_validates(self):
+        b = GraphBuilder()
+        b.add_edge("x", "y", ["a", "b"])
+        b.add_edge("y", "x", ["b"])
+        b.add_vertex("isolated")
+        validate_graph(b.build())
+
+    def test_builder_reusable_after_build(self):
+        b = GraphBuilder()
+        b.add_edge("x", "y", ["a"])
+        g1 = b.build()
+        b.add_edge("y", "z", ["a"])
+        g2 = b.build()
+        assert g1.edge_count == 1
+        assert g2.edge_count == 2
+
+    def test_empty_graph(self):
+        g = GraphBuilder().build()
+        assert g.vertex_count == 0
+        assert g.edge_count == 0
+        assert g.size() == 0
+        validate_graph(g)
+
+    def test_in_order_is_insertion_order(self):
+        """In(v) order = edge insertion order; this pins TgtIdx."""
+        b = GraphBuilder()
+        b.add_edge("p", "z", ["a"])   # e0
+        b.add_edge("q", "z", ["a"])   # e1
+        b.add_edge("r", "z", ["a"])   # e2
+        g = b.build()
+        assert g.in_edges(g.vertex_id("z")) == (0, 1, 2)
+        assert [g.tgt_idx(e) for e in (0, 1, 2)] == [0, 1, 2]

@@ -1,0 +1,163 @@
+"""Unit tests for the graph database and its O(1) accessor contract."""
+
+import pytest
+
+from repro.exceptions import (
+    UnknownEdgeError,
+    UnknownLabelError,
+    UnknownVertexError,
+)
+from repro.graph import GraphBuilder
+from repro.workloads.fraud import EXAMPLE9_EDGE_IDS, example9_graph
+
+
+@pytest.fixture
+def tiny():
+    b = GraphBuilder()
+    b.add_edge("x", "y", ["a", "b"])
+    b.add_edge("y", "z", ["b"])
+    b.add_edge("x", "z", ["a"])
+    b.add_edge("y", "z", ["a", "b"])  # Multi-edge x2 between y and z.
+    return b.build()
+
+
+class TestCounts:
+    def test_vertex_edge_label_counts(self, tiny):
+        assert tiny.vertex_count == 3
+        assert tiny.edge_count == 4
+        assert tiny.label_count == 2
+
+    def test_size_formula(self, tiny):
+        # |D| = |V| + |E| + Σ|Lbl(e)| = 3 + 4 + (2+1+1+2).
+        assert tiny.size() == 3 + 4 + 6
+        assert tiny.total_label_occurrences == 6
+
+    def test_stats_keys(self, tiny):
+        stats = tiny.stats()
+        assert stats["vertices"] == 3
+        assert stats["edges"] == 4
+        assert stats["size"] == tiny.size()
+
+
+class TestNames:
+    def test_vertex_roundtrip(self, tiny):
+        for v in tiny.vertices():
+            assert tiny.vertex_id(tiny.vertex_name(v)) == v
+
+    def test_label_roundtrip(self, tiny):
+        for a in range(tiny.label_count):
+            assert tiny.label_id(tiny.label_name(a)) == a
+
+    def test_unknown_vertex(self, tiny):
+        with pytest.raises(UnknownVertexError):
+            tiny.vertex_id("nope")
+        with pytest.raises(UnknownVertexError):
+            tiny.vertex_name(99)
+
+    def test_unknown_label(self, tiny):
+        with pytest.raises(UnknownLabelError):
+            tiny.label_id("nope")
+        with pytest.raises(UnknownLabelError):
+            tiny.label_name(99)
+
+    def test_resolve_vertex_accepts_names_and_ids(self, tiny):
+        assert tiny.resolve_vertex("x") == tiny.vertex_id("x")
+        assert tiny.resolve_vertex(1) == 1
+        with pytest.raises(UnknownVertexError):
+            tiny.resolve_vertex("missing")
+        with pytest.raises(UnknownVertexError):
+            tiny.resolve_vertex(77)
+
+    def test_resolve_vertex_prefers_names(self):
+        b = GraphBuilder()
+        b.add_vertex(1)
+        b.add_vertex(0)
+        g = b.build()
+        # Vertex *named* 1 has id 0; names win over raw ids.
+        assert g.resolve_vertex(1) == 0
+
+
+class TestAdjacency:
+    def test_out_edges_partition(self, tiny):
+        all_edges = sorted(
+            e for v in tiny.vertices() for e in tiny.out_edges(v)
+        )
+        assert all_edges == list(tiny.edges())
+
+    def test_in_edges_partition(self, tiny):
+        all_edges = sorted(
+            e for v in tiny.vertices() for e in tiny.in_edges(v)
+        )
+        assert all_edges == list(tiny.edges())
+
+    def test_degrees(self, tiny):
+        x = tiny.vertex_id("x")
+        z = tiny.vertex_id("z")
+        assert tiny.out_degree(x) == 2
+        assert tiny.in_degree(z) == 3
+        assert tiny.max_in_degree() == 3
+
+    def test_tgt_idx_contract(self, tiny):
+        """TgtIdx(e) is the position of e in In(Tgt(e)) — Section 2.2."""
+        for e in tiny.edges():
+            assert tiny.in_edges(tiny.tgt(e))[tiny.tgt_idx(e)] == e
+
+    def test_parallel_edges(self, tiny):
+        y, z = tiny.vertex_id("y"), tiny.vertex_id("z")
+        assert len(tiny.parallel_edges(y, z)) == 2
+
+
+class TestEdges:
+    def test_labels_sorted_and_unique(self, tiny):
+        for e in tiny.edges():
+            labels = tiny.labels(e)
+            assert list(labels) == sorted(set(labels))
+
+    def test_label_names_of(self, tiny):
+        e = tiny.parallel_edges(tiny.vertex_id("x"), tiny.vertex_id("y"))[0]
+        assert set(tiny.label_names_of(e)) == {"a", "b"}
+
+    def test_unknown_edge(self, tiny):
+        with pytest.raises(UnknownEdgeError):
+            tiny.src(99)
+        with pytest.raises(UnknownEdgeError):
+            tiny.labels(-1)
+
+    def test_default_costs_are_unit(self, tiny):
+        assert not tiny.has_costs
+        assert all(tiny.cost(e) == 1 for e in tiny.edges())
+        assert tiny.cost_array == (1, 1, 1, 1)
+
+    def test_edge_str(self, tiny):
+        text = tiny.edge_str(0)
+        assert "x" in text and "y" in text and "a" in text
+
+
+class TestFigure1:
+    """The paper's example database has the exact shape of Figure 1."""
+
+    def test_shape(self):
+        g = example9_graph()
+        assert g.vertex_count == 5
+        assert g.edge_count == 8
+        assert set(g.alphabet) == {"h", "s"}
+
+    def test_figure3_tgt_idx(self):
+        """TgtIdx values match the numbers printed in Figure 3."""
+        g = example9_graph()
+        expected = {
+            "e1": 1, "e2": 0, "e3": 0, "e4": 0,
+            "e5": 1, "e6": 2, "e7": 1, "e8": 0,
+        }
+        for name, ti in expected.items():
+            assert g.tgt_idx(EXAMPLE9_EDGE_IDS[name]) == ti, name
+
+    def test_labels_match_figure1(self):
+        g = example9_graph()
+        expected = {
+            "e1": {"h"}, "e2": {"h", "s"}, "e3": {"s"}, "e4": {"h"},
+            "e5": {"h"}, "e6": {"s"}, "e7": {"h"}, "e8": {"h", "s"},
+        }
+        for name, labels in expected.items():
+            e = EXAMPLE9_EDGE_IDS[name]
+            assert set(g.label_names_of(e)) == labels, name

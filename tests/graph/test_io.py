@@ -1,0 +1,173 @@
+"""Unit tests for graph persistence (JSON and edge-list formats)."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph import (
+    GraphBuilder,
+    graph_from_dict,
+    graph_to_dict,
+    load_edge_list,
+    load_json,
+    save_edge_list,
+    save_json,
+    validate_graph,
+)
+from repro.workloads.fraud import example9_graph
+
+
+def _assert_graphs_equal(g1, g2):
+    assert g1.vertex_count == g2.vertex_count
+    assert g1.edge_count == g2.edge_count
+    for e in g1.edges():
+        assert str(g1.vertex_name(g1.src(e))) == str(g2.vertex_name(g2.src(e)))
+        assert str(g1.vertex_name(g1.tgt(e))) == str(g2.vertex_name(g2.tgt(e)))
+        assert g1.label_names_of(e) == g2.label_names_of(e)
+        assert g1.tgt_idx(e) == g2.tgt_idx(e)
+        assert g1.cost(e) == g2.cost(e)
+
+
+class TestDictRoundtrip:
+    def test_example9(self):
+        g = example9_graph()
+        clone = graph_from_dict(graph_to_dict(g))
+        _assert_graphs_equal(g, clone)
+        validate_graph(clone)
+
+    def test_costs_preserved(self):
+        b = GraphBuilder()
+        b.add_edge("x", "y", ["a"], cost=5)
+        g = b.build()
+        clone = graph_from_dict(graph_to_dict(g))
+        assert clone.has_costs
+        assert clone.cost(0) == 5
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(GraphError):
+            graph_from_dict({"format": "something-else"})
+
+    def test_empty_graph(self):
+        clone = graph_from_dict(graph_to_dict(GraphBuilder().build()))
+        assert clone.vertex_count == 0
+
+
+class TestJsonFiles:
+    def test_roundtrip(self, tmp_path):
+        g = example9_graph()
+        path = tmp_path / "g.json"
+        save_json(g, path)
+        _assert_graphs_equal(g, load_json(path))
+
+
+class TestEdgeList:
+    def test_roundtrip(self, tmp_path):
+        g = example9_graph()
+        path = tmp_path / "g.txt"
+        save_edge_list(g, path)
+        _assert_graphs_equal(g, load_edge_list(path))
+
+    def test_parse_with_comments_and_blanks(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text(
+            "# header comment\n"
+            "\n"
+            "Alix -> Bob : h, s   # inline comment\n"
+            "Bob -> Alix : h\n"
+        )
+        g = load_edge_list(path)
+        assert g.vertex_count == 2
+        assert g.edge_count == 2
+        assert set(g.label_names_of(0)) == {"h", "s"}
+
+    def test_parse_with_costs(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("a -> b : x @ 42\n")
+        g = load_edge_list(path)
+        assert g.has_costs
+        assert g.cost(0) == 42
+
+    def test_bad_line_raises_with_lineno(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("a -> b : x\nthis is nonsense\n")
+        with pytest.raises(GraphError, match="line 2"):
+            load_edge_list(path)
+
+    def test_costs_roundtrip(self, tmp_path):
+        b = GraphBuilder()
+        b.add_edge("x", "y", ["a"], cost=3)
+        b.add_edge("y", "x", ["b", "a"], cost=9)
+        path = tmp_path / "g.txt"
+        save_edge_list(b.build(), path)
+        g = load_edge_list(path)
+        assert g.cost(0) == 3 and g.cost(1) == 9
+
+
+class TestPropertyGraphJson:
+    def _sample(self):
+        from repro.graph.property_graph import PropertyGraph
+
+        pg = PropertyGraph()
+        pg.add_vertex("Alix", country="FR")
+        pg.add_edge(
+            "Alix", "Dan", rel_type="transfer", cost=3,
+            amount=25_000, flagged=True,
+        )
+        pg.add_edge("Dan", "Bob", amount=900, flagged=False)
+        return pg
+
+    def test_dict_round_trip(self):
+        from repro.graph.io import (
+            property_graph_from_dict,
+            property_graph_to_dict,
+        )
+
+        pg = self._sample()
+        clone = property_graph_from_dict(property_graph_to_dict(pg))
+        assert clone.vertex_count == pg.vertex_count
+        assert clone.edge_count == pg.edge_count
+        assert clone.vertex_properties("Alix") == {"country": "FR"}
+        assert clone.edge(0) == pg.edge(0)
+        assert clone.edge(1) == pg.edge(1)
+
+    def test_file_round_trip(self, tmp_path):
+        from repro.graph.io import (
+            load_property_graph_json,
+            save_property_graph_json,
+        )
+
+        pg = self._sample()
+        path = tmp_path / "pg.json"
+        save_property_graph_json(pg, path)
+        clone = load_property_graph_json(path)
+        assert clone.edge(0) == pg.edge(0)
+
+    def test_projection_survives_round_trip(self, tmp_path):
+        from repro.graph.io import (
+            load_property_graph_json,
+            save_property_graph_json,
+        )
+        from repro.graph.property_graph import LabelRule, project
+        from repro.workloads.fraud import (
+            example9_property_graph,
+            example9_rules,
+        )
+
+        path = tmp_path / "fraud.json"
+        save_property_graph_json(example9_property_graph(), path)
+        clone = load_property_graph_json(path)
+        original = project(example9_property_graph(), example9_rules())
+        reloaded = project(clone, example9_rules())
+        assert original.graph.edge_count == reloaded.graph.edge_count
+        for e in range(original.graph.edge_count):
+            assert original.graph.label_names_of(e) == (
+                reloaded.graph.label_names_of(e)
+            )
+
+    def test_bad_format_rejected(self):
+        import pytest
+
+        from repro.exceptions import GraphError
+        from repro.graph.io import property_graph_from_dict
+
+        with pytest.raises(GraphError, match="format"):
+            property_graph_from_dict({"format": "something-else"})

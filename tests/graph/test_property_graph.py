@@ -1,0 +1,199 @@
+"""Unit and property tests for the property-graph substrate."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import DistinctShortestWalks
+from repro.exceptions import GraphError
+from repro.graph.property_graph import (
+    LabelRule,
+    PropertyGraph,
+    project,
+    type_is,
+)
+from repro.workloads.fraud import (
+    example9_graph,
+    example9_property_graph,
+    example9_query,
+    example9_rules,
+)
+
+
+class TestPropertyGraph:
+    def test_vertices_and_properties(self):
+        pg = PropertyGraph()
+        pg.add_vertex("Alix", country="FR")
+        pg.add_vertex("Alix", risk="low")  # Merge, not replace.
+        assert pg.vertex_properties("Alix") == {"country": "FR", "risk": "low"}
+        assert pg.vertex_count == 1
+
+    def test_edges_with_type_and_cost(self):
+        pg = PropertyGraph()
+        eid = pg.add_edge("a", "b", rel_type="wire", cost=3, amount=10)
+        src, tgt, props = pg.edge(eid)
+        assert (src, tgt) == ("a", "b")
+        assert props == {"type": "wire", "cost": 3, "amount": 10}
+
+    def test_unknown_lookups_raise(self):
+        pg = PropertyGraph()
+        with pytest.raises(GraphError):
+            pg.vertex_properties("ghost")
+        with pytest.raises(GraphError):
+            pg.edge(0)
+
+    def test_multi_edges_kept(self):
+        pg = PropertyGraph()
+        pg.add_edge("a", "b", amount=1)
+        pg.add_edge("a", "b", amount=2)
+        assert pg.edge_count == 2
+
+
+class TestProjection:
+    def _small(self):
+        pg = PropertyGraph()
+        pg.add_edge("a", "b", amount=50, flagged=False)
+        pg.add_edge("b", "c", amount=5, flagged=True)
+        pg.add_edge("a", "c", amount=5, flagged=False)  # No labels.
+        return pg
+
+    def _rules(self):
+        return [
+            LabelRule("h", lambda e: e["amount"] >= 10),
+            LabelRule("s", lambda e: e["flagged"]),
+        ]
+
+    def test_labels_follow_predicates(self):
+        projection = project(self._small(), self._rules())
+        graph = projection.graph
+        assert graph.edge_count == 2  # The unlabeled edge is dropped.
+        assert graph.label_names_of(0) == ("h",)
+        assert graph.label_names_of(1) == ("s",)
+        assert projection.dropped == (2,)
+
+    def test_error_mode(self):
+        with pytest.raises(GraphError, match="satisfies no rule"):
+            project(self._small(), self._rules(), on_unlabeled="error")
+        with pytest.raises(GraphError, match="on_unlabeled"):
+            project(self._small(), self._rules(), on_unlabeled="ignore")
+
+    def test_duplicate_rule_labels_rejected(self):
+        rules = [
+            LabelRule("h", lambda e: True),
+            LabelRule("h", lambda e: False),
+        ]
+        with pytest.raises(GraphError, match="duplicate"):
+            project(self._small(), rules)
+
+    def test_edge_id_mapping(self):
+        projection = project(self._small(), self._rules())
+        # Projected edge 1 is the original edge 1 (b -> c).
+        src, tgt, props = projection.source.edge(
+            projection.original_edge_ids[1]
+        )
+        assert (src, tgt) == ("b", "c")
+        assert props["flagged"] is True
+
+    def test_costs_forwarded(self):
+        pg = PropertyGraph()
+        pg.add_edge("a", "b", cost=7, amount=100)
+        projection = project(pg, [LabelRule("h", lambda e: True)])
+        assert projection.graph.cost(0) == 7
+        no_costs = project(
+            pg, [LabelRule("h", lambda e: True)], include_costs=False
+        )
+        assert no_costs.graph.cost(0) == 1
+
+    def test_type_is_predicate(self):
+        pg = PropertyGraph()
+        pg.add_edge("a", "b", rel_type="wire")
+        pg.add_edge("a", "b", rel_type="cash")
+        projection = project(pg, [LabelRule("w", type_is("wire"))])
+        assert projection.graph.edge_count == 1
+        assert projection.original_edge_ids == (0,)
+
+    def test_isolated_vertices_preserved(self):
+        pg = PropertyGraph()
+        pg.add_vertex("lonely")
+        pg.add_edge("a", "b", amount=100, flagged=False)
+        projection = project(pg, self._rules())
+        assert projection.graph.has_vertex("lonely")
+
+
+class TestExample9RoundTrip:
+    def test_projection_reproduces_figure1(self):
+        """Projecting the raw transfers recovers Figure 1's database."""
+        reference = example9_graph()
+        projection = project(example9_property_graph(), example9_rules())
+        graph = projection.graph
+        assert graph.edge_count == reference.edge_count == 8
+        for e in range(8):
+            ref_names = (
+                reference.vertex_name(reference.src(e)),
+                reference.vertex_name(reference.tgt(e)),
+                reference.label_names_of(e),
+            )
+            got_names = (
+                graph.vertex_name(graph.src(e)),
+                graph.vertex_name(graph.tgt(e)),
+                graph.label_names_of(e),
+            )
+            assert got_names == ref_names
+
+    def test_example9_answers_over_projection(self):
+        projection = project(example9_property_graph(), example9_rules())
+        engine = DistinctShortestWalks(
+            projection.graph, example9_query, "Alix", "Bob"
+        )
+        walks = list(engine.enumerate())
+        assert len(walks) == 4
+        assert engine.lam == 3
+        # Join answers back to the raw records: every walk's transfers
+        # must be h-or-s with at least one flagged one, by construction.
+        for walk in walks:
+            records = projection.original_edges(walk)
+            assert any(props["flagged"] for _, _, props in records)
+            for _, _, props in records:
+                assert props["amount"] >= 10_000 or props["flagged"]
+
+
+class TestProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=3),  # src
+                st.integers(min_value=0, max_value=3),  # tgt
+                st.integers(min_value=0, max_value=100),  # amount
+                st.booleans(),  # flagged
+            ),
+            max_size=20,
+        ),
+        st.integers(min_value=0, max_value=100),  # threshold
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_projection_matches_predicates(self, edges, threshold):
+        pg = PropertyGraph()
+        for src, tgt, amount, flagged in edges:
+            pg.add_edge(f"v{src}", f"v{tgt}", amount=amount, flagged=flagged)
+        rules = [
+            LabelRule("h", lambda e: e["amount"] >= threshold),
+            LabelRule("s", lambda e: e["flagged"]),
+        ]
+        projection = project(pg, rules)
+        graph = projection.graph
+        # Every projected edge's labels match a re-evaluation.
+        for e in range(graph.edge_count):
+            _, _, props = pg.edge(projection.original_edge_ids[e])
+            expected = set()
+            if props["amount"] >= threshold:
+                expected.add("h")
+            if props["flagged"]:
+                expected.add("s")
+            assert set(graph.label_names_of(e)) == expected
+        # Kept + dropped partitions the original edges.
+        assert len(projection.original_edge_ids) + len(
+            projection.dropped
+        ) == pg.edge_count
+        for eid in projection.dropped:
+            _, _, props = pg.edge(eid)
+            assert props["amount"] < threshold and not props["flagged"]

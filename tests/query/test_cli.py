@@ -1,0 +1,249 @@
+"""Unit tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.graph.io import save_edge_list, save_json
+from repro.workloads.fraud import example9_graph
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    path = tmp_path / "fraud.txt"
+    save_edge_list(example9_graph(), path)
+    return str(path)
+
+
+@pytest.fixture
+def json_graph_file(tmp_path):
+    path = tmp_path / "fraud.json"
+    save_json(example9_graph(), path)
+    return str(path)
+
+
+class TestQueryCommand:
+    def test_basic_query(self, graph_file, capsys):
+        code = main(["query", graph_file, "h* s (h | s)*", "Alix", "Bob"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "λ = 3" in out
+        assert out.count("Alix") == 4  # One line per walk.
+
+    def test_json_input(self, json_graph_file, capsys):
+        code = main(
+            ["query", json_graph_file, "h* s (h | s)*", "Alix", "Bob"]
+        )
+        assert code == 0
+        assert "λ = 3" in capsys.readouterr().out
+
+    def test_no_match_exit_code(self, graph_file, capsys):
+        code = main(["query", graph_file, "h", "Bob", "Alix"])
+        assert code == 1
+        assert "no matching walk" in capsys.readouterr().out
+
+    def test_limit(self, graph_file, capsys):
+        code = main(
+            ["query", graph_file, "h* s (h | s)*", "Alix", "Bob",
+             "--limit", "2"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "stopped after 2" in out
+
+    def test_multiplicity_flag(self, graph_file, capsys):
+        code = main(
+            ["query", graph_file, "h* s (h | s)*", "Alix", "Bob",
+             "--multiplicity"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "[3 runs]" in out
+
+    def test_count_flag(self, graph_file, capsys):
+        code = main(
+            ["query", graph_file, "h* s (h | s)*", "Alix", "Bob", "--count"]
+        )
+        assert code == 0
+        assert "total answers: 4" in capsys.readouterr().out
+
+    def test_all_targets(self, graph_file, capsys):
+        code = main(
+            ["query", graph_file, "h* s (h | s)*", "Alix", "--all-targets"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        for name in ("Bob", "Cassie", "Dan", "Eve"):
+            assert f"=== {name}" in out
+
+    def test_missing_target_is_error(self, graph_file, capsys):
+        code = main(["query", graph_file, "h", "Alix"])
+        assert code == 2
+        assert "TARGET" in capsys.readouterr().err
+
+    def test_cheapest(self, tmp_path, capsys):
+        path = tmp_path / "costs.txt"
+        path.write_text("a -> b : x @ 9\na -> b : x @ 2\n")
+        code = main(["query", str(path), "x", "a", "b", "--cheapest"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "cheapest matching cost: 2" in out
+
+    def test_modes(self, graph_file, capsys):
+        for mode in ("iterative", "recursive", "memoryless"):
+            code = main(
+                ["query", graph_file, "h* s (h | s)*", "Alix", "Bob",
+                 "--mode", mode]
+            )
+            assert code == 0
+
+    def test_unknown_vertex(self, graph_file, capsys):
+        code = main(["query", graph_file, "h", "Nobody", "Bob"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_expression(self, graph_file, capsys):
+        code = main(["query", graph_file, "h |", "Alix", "Bob"])
+        assert code == 2
+
+
+class TestPlanCommand:
+    def test_plan(self, graph_file, capsys):
+        code = main(["plan", graph_file, "h* s (h | s)*"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "engine: general" in out
+
+
+class TestStatsCommand:
+    def test_stats(self, graph_file, capsys):
+        code = main(["stats", graph_file])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "vertices: 5" in out
+        assert "edges: 8" in out
+        assert "h" in out
+
+    def test_missing_file(self, capsys):
+        code = main(["stats", "/nonexistent/file.json"])
+        assert code == 2
+
+
+class TestPatternCommand:
+    def test_all_shortest_pattern(self, graph_file, capsys):
+        code = main(
+            ["pattern", graph_file,
+             "ALL SHORTEST (Alix)-[h* s (h|s)*]->(Bob)"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "compiled RPQ" in out
+        assert "λ = 3" in out
+        assert out.count("-e") // 3 == 4  # Four 3-edge walks printed.
+
+    def test_any_shortest_pattern(self, graph_file, capsys):
+        code = main(
+            ["pattern", graph_file,
+             "ANY SHORTEST (Alix)-[:h* :s (:h|:s)*]->(Bob)"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.count("Alix -") == 1  # A single walk.
+
+    def test_no_match(self, graph_file, capsys):
+        code = main(["pattern", graph_file, "(Bob)-[h]->(Alix)"])
+        assert code == 1
+        assert "no matching walk" in capsys.readouterr().out
+
+    def test_syntax_error_exit_code(self, graph_file, capsys):
+        code = main(["pattern", graph_file, "(Alix)-[h]->("])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_pattern_limit(self, graph_file, capsys):
+        code = main(
+            ["pattern", graph_file,
+             "ALL SHORTEST (Alix)-[h* s (h|s)*]->(Bob)", "--limit", "1"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "stopped after 1" in out
+
+
+class TestCountCommand:
+    def test_counts_and_blowup(self, graph_file, capsys):
+        code = main(["count", graph_file, "h* s (h | s)*", "Alix", "Bob"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "distinct shortest walks: 4" in out
+        assert "shortest product paths" in out
+        assert "total accepting runs" in out
+
+    def test_no_match(self, graph_file, capsys):
+        code = main(["count", graph_file, "h", "Bob", "Alix"])
+        assert code == 1
+
+    def test_unknown_vertex_is_input_error(self, graph_file, capsys):
+        code = main(["count", graph_file, "h", "Nobody", "Bob"])
+        assert code == 2
+
+
+class TestJsonOutput:
+    def test_query_json(self, graph_file, capsys):
+        code = main(
+            ["query", graph_file, "h* s (h | s)*", "Alix", "Bob", "--json"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["lam"] == 3
+        assert len(payload["walks"]) == 4
+        first = payload["walks"][0]
+        assert first["vertices"][0] == "Alix"
+        assert first["vertices"][-1] == "Bob"
+        assert first["length"] == 3
+        assert len(first["labels"]) == 3
+
+    def test_query_json_respects_limit(self, graph_file, capsys):
+        code = main(
+            ["query", graph_file, "h* s (h | s)*", "Alix", "Bob",
+             "--json", "--limit", "2"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert len(payload["walks"]) == 2
+
+    def test_query_json_no_match(self, graph_file, capsys):
+        code = main(["query", graph_file, "h", "Bob", "Alix", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert payload["lam"] is None and payload["walks"] == []
+
+    def test_query_json_all_targets(self, graph_file, capsys):
+        code = main(
+            ["query", graph_file, "h s?", "Alix", "--all-targets", "--json"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["targets"]
+        for info in payload["targets"].values():
+            assert info["lam"] >= 1
+            assert info["walks"]
+
+    def test_query_json_cheapest(self, tmp_path, capsys):
+        from repro.graph.builder import GraphBuilder
+
+        builder = GraphBuilder()
+        builder.add_edge("a", "b", ["x"], cost=2)
+        builder.add_edge("a", "b", ["x"], cost=5)
+        path = tmp_path / "costs.txt"
+        save_edge_list(builder.build(), path)
+        code = main(
+            ["query", str(path), "x", "a", "b", "--cheapest", "--json"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["lam"] == 2  # Cheapest cost.
+        assert len(payload["walks"]) == 1
+        assert payload["walks"][0]["cost"] == 2

@@ -1,0 +1,102 @@
+"""Unit tests for the rpq() front-end."""
+
+import pytest
+
+from repro.exceptions import RegexSyntaxError
+from repro.query import rpq
+from repro.workloads.fraud import example9_graph
+
+
+@pytest.fixture
+def graph():
+    return example9_graph()
+
+
+class TestCompilation:
+    def test_size_is_ast_size(self):
+        q = rpq("h* s (h | s)*")
+        assert q.size >= 5
+
+    def test_method_selection(self):
+        thompson = rpq("a b | c")
+        glushkov = rpq("a b | c", method="glushkov")
+        assert thompson.automaton.has_epsilon
+        assert not glushkov.automaton.has_epsilon
+
+    def test_syntax_errors_propagate(self):
+        with pytest.raises(RegexSyntaxError):
+            rpq("a |")
+
+    def test_repr(self):
+        assert "h* s" in repr(rpq("h* s"))
+
+
+class TestExecution:
+    def test_shortest_walks(self, graph):
+        walks = list(rpq("h* s (h | s)*").shortest_walks(graph, "Alix", "Bob"))
+        assert len(walks) == 4
+
+    def test_lam_and_count(self, graph):
+        q = rpq("h* s (h | s)*")
+        assert q.lam(graph, "Alix", "Bob") == 3
+        assert q.count(graph, "Alix", "Bob") == 4
+        assert q.lam(graph, "Bob", "Alix") is None
+        assert q.count(graph, "Bob", "Alix") == 0
+
+    def test_first(self, graph):
+        q = rpq("h* s (h | s)*")
+        assert len(q.first(graph, "Alix", "Bob", 2)) == 2
+
+    def test_multiplicity(self, graph):
+        q = rpq("h* s (h | s)*")
+        pairs = list(
+            q.shortest_walks_with_multiplicity(graph, "Alix", "Bob")
+        )
+        assert sorted(m for _, m in pairs) == [1, 2, 2, 3]
+
+    def test_to_all_targets(self, graph):
+        mt = rpq("h* s (h | s)*").to_all_targets(graph, "Alix")
+        assert sorted(mt.reached_target_names()) == [
+            "Bob",
+            "Cassie",
+            "Dan",
+            "Eve",
+        ]
+
+    def test_cheapest_walks(self):
+        from repro.graph import GraphBuilder
+
+        b = GraphBuilder()
+        b.add_edge("s", "t", ["a"], cost=9)
+        b.add_edge("s", "t", ["a"], cost=3)
+        walks = list(rpq("a").cheapest_walks(b.build(), "s", "t"))
+        assert len(walks) == 1 and walks[0].cost() == 3
+
+    def test_reusable_across_graphs(self, graph):
+        from repro.graph.generators import chain
+
+        q = rpq("(h | a)+")
+        assert q.count(graph, "Alix", "Cassie") >= 1
+        other = chain(2, labels=("a",))
+        assert q.count(other, "v0", "v2") == 1
+
+    def test_plan(self, graph):
+        plan = rpq("h* s (h | s)*").plan(graph)
+        assert plan.engine == "general"
+
+    def test_engine_reuse(self, graph):
+        engine = rpq("h* s (h | s)*").engine(graph, "Alix", "Bob")
+        assert engine.count() == engine.count() == 4
+
+    def test_wildcard_query(self, graph):
+        # Any two transfers from Alix to Eve.
+        walks = list(rpq(". .").shortest_walks(graph, "Alix", "Eve"))
+        assert len(walks) == 3  # e1e5, e1e6, e2e4.
+
+    def test_quoted_label_query(self):
+        from repro.graph import GraphBuilder
+
+        b = GraphBuilder()
+        b.add_edge("x", "y", ["high value"])
+        walks = list(rpq("'high value'").shortest_walks(b.build(), "x", "y"))
+        assert len(walks) == 1
