@@ -18,8 +18,12 @@ Module map (mirrors Figure 2 of the paper):
   queries on single-labeled data.
 """
 
-from repro.core.annotate import Annotation, annotate
-from repro.core.cheapest import DistinctCheapestWalks, cheapest_annotate
+from repro.core.annotate import Annotation, annotate, annotate_reference
+from repro.core.cheapest import (
+    DistinctCheapestWalks,
+    cheapest_annotate,
+    cheapest_annotate_reference,
+)
 from repro.core.compile import CompiledQuery, compile_query
 from repro.core.count import (
     count_distinct_shortest,
@@ -46,7 +50,9 @@ __all__ = [
     "TrimmedAnnotation",
     "Walk",
     "annotate",
+    "annotate_reference",
     "cheapest_annotate",
+    "cheapest_annotate_reference",
     "compile_query",
     "count_accepting_runs",
     "count_distinct_shortest",

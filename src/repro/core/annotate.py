@@ -26,10 +26,32 @@ direct target state always ends up in the certificate set.)
 
 Complexity: O(|E| × |Δ|) plus O(|V| × |Δ_ε|) for ε-handling, i.e.
 O(|D| × |A|) overall.
+
+Label-indexed traversal
+-----------------------
+
+The product graph only has an edge ``(v, q) → (u, p)`` where an edge
+label and an automaton transition *agree*, so :func:`annotate` expands
+a frontier pair ``(v, q)`` by iterating only the labels in
+``labels(Δ(q)) ∩ labels(Out(v))`` and, per such label ``a``, only the
+edges of ``Out_a(v)`` — served in O(1) per label by the graph's
+label-indexed CSR adjacency (:attr:`repro.graph.database.Graph.out_csr`)
+and the query's dense transition layout
+(:attr:`repro.core.compile.CompiledQuery.delta_dense`).  The per-pair
+cost drops from O(OutDeg(v) × |Lbl|) dict probes to
+O(Σ_{a ∈ labels(q)} |Out_a(v)|).  ``L`` is carried as one flat
+per-(vertex, state) integer array during the BFS and converted to the
+documented dict-of-dicts form on return, so the :class:`Annotation`
+contract (and every downstream consumer: ``trim``, ``enumerate``, the
+baselines) is unchanged.  The pre-index traversal is retained verbatim
+as :func:`annotate_reference`; the equivalence property tests in
+``tests/core/test_adjacency_equivalence.py`` hold the two to identical
+annotation contents.
 """
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
@@ -96,6 +118,24 @@ class Annotation:
         )
 
 
+def _unflatten(flat: array, n: int, n_states: int) -> List[LengthMap]:
+    """Convert the flat per-(vertex, state) array back to ``L`` dicts.
+
+    ``-1`` marks unreached pairs; O(|V| × |Q|), once per annotation.
+    """
+    L: List[LengthMap] = []
+    pos = 0
+    for _ in range(n):
+        row: LengthMap = {}
+        for p in range(n_states):
+            d = flat[pos]
+            if d >= 0:
+                row[p] = d
+            pos += 1
+        L.append(row)
+    return L
+
+
 def annotate(
     cq: CompiledQuery,
     source: int,
@@ -107,6 +147,154 @@ def annotate(
     With a ``target``, stops at the end of level λ (the first level
     reaching the target in a final state); with ``saturate=True`` (or
     no target) runs to exhaustion of the reachable product.
+
+    This is the label-indexed traversal (module docstring): frontier
+    pairs expand over ``labels(Δ(q)) ∩ labels(Out(v))`` through the
+    graph's CSR adjacency.  :func:`annotate_reference` is the retained
+    edge-major original; both produce identical annotations.
+
+    Queries compiled with ``eliminate_epsilon=False`` delegate to the
+    reference traversal: Section 5.1's ``PossiblyVisit`` propagates
+    witnesses through ε-closures only at *first* discovery, so its
+    output depends on the edge visit order — reordering the scan would
+    silently change which (edge, predecessor) pair the ε-successors
+    inherit.  The ε-eliminated default (the only mode the engine uses)
+    has no such order sensitivity.
+    """
+    if cq.has_eps:
+        return annotate_reference(cq, source, target, saturate)
+    graph = cq.graph
+    n = graph.vertex_count
+    n_states = cq.n_states
+    tgt_arr = graph.tgt_array
+    ti_arr = graph.tgt_idx_array
+    indptr, csr_edges = graph.out_csr
+    out_labels = graph.out_labels_array
+    firing = cq.firing_labels
+    firing_sets = cq.firing_sets
+    dense = cq.delta_dense
+    n_labels = cq.label_count
+    final = cq.final
+
+    # L, flattened: dist[v * |Q| + p], -1 = unreached.
+    dist = array("q", [-1]) * (n * n_states)
+    B: List[BackMap] = [{} for _ in range(n)]
+
+    next_pairs: List[Tuple[int, int]] = []
+    source_base = source * n_states
+    for p in sorted(cq.initial_closure):
+        dist[source_base + p] = 0
+        next_pairs.append((source, p))
+
+    # λ = 0 edge case: the trivial walk ⟨s⟩ matches iff ε ∈ L(A).
+    if (
+        target is not None
+        and target == source
+        and (cq.initial_closure & final)
+        and not saturate
+    ):
+        return Annotation(
+            source=source,
+            target=target,
+            lam=0,
+            L=_unflatten(dist, n, n_states),
+            B=B,
+            target_states=frozenset(cq.initial_closure & final),
+            final=final,
+            initial_closure=cq.initial_closure,
+        )
+
+    stop = False
+    level = 0
+    while next_pairs and not stop:
+        level += 1
+        current, next_pairs = next_pairs, []
+        for v, q in current:
+            fire = firing[q]
+            mine = out_labels[v]
+            if not fire or not mine:
+                continue
+            if len(fire) > len(mine):
+                # Intersect from the cheaper side.
+                fset = firing_sets[q]
+                fire = [a for a in mine if a in fset]
+            q_base = q * n_labels
+            for a in fire:
+                b = a * n + v
+                start, end = indptr[b], indptr[b + 1]
+                if start == end:
+                    continue
+                targets = dense[q_base + a]
+                for j in range(start, end):
+                    e = csr_edges[j]
+                    u = tgt_arr[e]
+                    u_base = u * n_states
+                    back_map = B[u]
+                    ti = ti_arr[e]
+                    for p in targets:
+                        known = dist[u_base + p]
+                        if known < 0:
+                            # First time state p is reached at vertex u.
+                            dist[u_base + p] = level
+                            next_pairs.append((u, p))
+                            if u == target and p in final and not saturate:
+                                stop = True
+                            back_map.setdefault(p, {}).setdefault(
+                                ti, []
+                            ).append(q)
+                        elif known == level:
+                            # Another walk of the same (minimal) length
+                            # reaches p at u: record the extra witness.
+                            back_map[p].setdefault(ti, []).append(q)
+
+    L = _unflatten(dist, n, n_states)
+    if target is not None and not saturate:
+        if stop:
+            lam: Optional[int] = level
+            target_states = frozenset(
+                f for f in final if L[target].get(f) == level
+            )
+        else:
+            lam, target_states = None, frozenset()
+        return Annotation(
+            source=source,
+            target=target,
+            lam=lam,
+            L=L,
+            B=B,
+            target_states=target_states,
+            steps=level,
+            final=final,
+            initial_closure=cq.initial_closure,
+        )
+
+    return Annotation(
+        source=source,
+        target=target,
+        lam=None,
+        L=L,
+        B=B,
+        target_states=frozenset(),
+        saturated=True,
+        steps=level,
+        final=final,
+        initial_closure=cq.initial_closure,
+    )
+
+
+def annotate_reference(
+    cq: CompiledQuery,
+    source: int,
+    target: Optional[int] = None,
+    saturate: bool = False,
+) -> Annotation:
+    """The pre-index ``Annotate``: edge-major scan of ``Out(v)``.
+
+    Retained as the correctness oracle for :func:`annotate` (the
+    equivalence property tests run both on random instances) and as
+    the baseline of ``benchmarks/bench_adjacency.py``.  Semantics are
+    identical; per frontier pair it costs O(OutDeg(v) × |Lbl|) dict
+    probes instead of the CSR traversal's output-sensitive bound.
     """
     graph = cq.graph
     n = graph.vertex_count

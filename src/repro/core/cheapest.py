@@ -15,14 +15,23 @@ count* of a cheapest walk (λ_e ≤ λ for integer costs ≥ 1).
 Costs must be positive: zero-cost cycles would make the answer set
 infinite, and exact budget arithmetic requires integers (float
 rounding would corrupt the leaf test ``budget == 0``).
+
+Like the BFS :func:`repro.core.annotate.annotate`, the settle loop is
+label-indexed: a popped product node ``(v, q)`` relaxes only the labels
+in ``labels(Δ(q)) ∩ labels(Out(v))`` via the graph's CSR adjacency and
+the query's dense transition layout, with ``L`` carried as a flat
+per-(vertex, state) cost array during the traversal.  The pre-index
+edge-major loop is retained as :func:`cheapest_annotate_reference` for
+the equivalence tests and the adjacency benchmark.
 """
 
 from __future__ import annotations
 
 import heapq
+from array import array
 from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
 
-from repro.core.annotate import Annotation, BackMap, LengthMap
+from repro.core.annotate import Annotation, BackMap, LengthMap, _unflatten
 from repro.core.compile import CompiledQuery, compile_query
 from repro.core.enumerate import enumerate_walks
 from repro.core.trim import TrimmedAnnotation, trim
@@ -100,6 +109,157 @@ def cheapest_annotate(
     pairing heap, one live entry per product node — the structure the
     paper's Fredman–Tarjan citation presumes).  Both produce the same
     annotation content.
+    """
+    if heap not in _HEAPS:
+        raise QueryError(f"unknown heap {heap!r}; expected one of {_HEAPS}")
+    graph = cq.graph
+    cost_arr = graph.cost_array
+    if cost_arr and min(cost_arr) <= 0:
+        bad = next(e for e, c in enumerate(cost_arr) if c <= 0)
+        raise CostError(f"edge {bad} has non-positive cost {cost_arr[bad]}")
+
+    n = graph.vertex_count
+    n_states = cq.n_states
+    tgt_arr = graph.tgt_array
+    ti_arr = graph.tgt_idx_array
+    indptr, csr_edges = graph.out_csr
+    out_labels = graph.out_labels_array
+    firing = cq.firing_labels
+    firing_sets = cq.firing_sets
+    dense = cq.delta_dense
+    n_labels = cq.label_count
+    eps = cq.eps
+    has_eps = cq.has_eps
+    final = cq.final
+
+    # L, flattened: dist[v * |Q| + p], -1 = unreached.
+    dist = array("q", [-1]) * (n * n_states)
+    B: List[BackMap] = [{} for _ in range(n)]
+    settled = bytearray(n * n_states)
+
+    queue = _PairingQueue() if heap == "pairing" else _LazyBinaryQueue()
+    source_base = source * n_states
+    for p in sorted(cq.initial_closure):
+        dist[source_base + p] = 0
+        queue.update(0, source, p)
+
+    lam: Optional[int] = None
+    if target is not None and target == source and (cq.initial_closure & final):
+        lam = 0  # Trivial walk ⟨s⟩ of cost 0.
+
+    def reach(u: int, p: int, via_q: int, ti: int, cost: int) -> None:
+        """Relax (u, p) at ``cost`` with witness (via_q, edge at ti)."""
+        idx = u * n_states + p
+        known = dist[idx]
+        if known < 0 or cost < known:
+            dist[idx] = cost
+            # Better estimate: all previously recorded witnesses
+            # belonged to costlier walks — discard them.
+            B[u][p] = {ti: [via_q]}
+            queue.update(cost, u, p)
+        elif cost == known:
+            B[u].setdefault(p, {}).setdefault(ti, []).append(via_q)
+
+    steps = 0
+    while queue and lam != 0:
+        cost, v, q = queue.pop()
+        vq = v * n_states + q
+        if settled[vq] or dist[vq] != cost:
+            continue  # Stale heap entry.
+        if lam is not None and cost > lam and not saturate:
+            break  # Everything at distance ≤ λ is settled.
+        settled[vq] = 1
+        steps += 1
+        if target is not None and v == target and q in final and lam is None:
+            lam = cost
+            if not saturate:
+                # Keep draining entries of cost ≤ λ so that equal-cost
+                # witnesses into the target are all recorded.
+                continue
+        fire = firing[q]
+        mine = out_labels[v]
+        if not fire or not mine:
+            continue
+        if len(fire) > len(mine):
+            # Intersect from the cheaper side.
+            fset = firing_sets[q]
+            fire = [a for a in mine if a in fset]
+        q_base = q * n_labels
+        for a in fire:
+            b = a * n + v
+            start, end = indptr[b], indptr[b + 1]
+            if start == end:
+                continue
+            targets = dense[q_base + a]
+            for j in range(start, end):
+                e = csr_edges[j]
+                u = tgt_arr[e]
+                new_cost = cost + cost_arr[e]
+                if lam is not None and new_cost > lam and not saturate:
+                    continue
+                ti = ti_arr[e]
+                for p in targets:
+                    reach(u, p, q, ti, new_cost)
+                    if has_eps and eps[p]:
+                        stack = list(eps[p])
+                        seen = set(eps[p])
+                        while stack:
+                            r = stack.pop()
+                            reach(u, r, q, ti, new_cost)
+                            for r2 in eps[r]:
+                                if r2 not in seen:
+                                    seen.add(r2)
+                                    stack.append(r2)
+
+    L = _unflatten(dist, n, n_states)
+    if target is not None and not saturate:
+        if lam == 0:
+            target_states: FrozenSet[int] = frozenset(
+                cq.initial_closure & final
+            )
+        elif lam is not None:
+            target_states = frozenset(
+                f for f in final if L[target].get(f) == lam
+            )
+        else:
+            target_states = frozenset()
+        return Annotation(
+            source=source,
+            target=target,
+            lam=lam,
+            L=L,
+            B=B,
+            target_states=target_states,
+            steps=steps,
+            final=final,
+            initial_closure=cq.initial_closure,
+        )
+    return Annotation(
+        source=source,
+        target=target,
+        lam=None,
+        L=L,
+        B=B,
+        target_states=frozenset(),
+        saturated=True,
+        steps=steps,
+        final=final,
+        initial_closure=cq.initial_closure,
+    )
+
+
+def cheapest_annotate_reference(
+    cq: CompiledQuery,
+    source: int,
+    target: Optional[int] = None,
+    saturate: bool = False,
+    heap: str = "binary",
+) -> Annotation:
+    """The pre-index Dijkstra ``Annotate``: edge-major ``Out(v)`` scan.
+
+    Retained as the correctness oracle for :func:`cheapest_annotate`
+    (equivalence property tests) and as the baseline of
+    ``benchmarks/bench_adjacency.py``; semantics are identical.
     """
     if heap not in _HEAPS:
         raise QueryError(f"unknown heap {heap!r}; expected one of {_HEAPS}")

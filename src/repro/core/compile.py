@@ -53,6 +53,18 @@ class CompiledQuery:
     * ``eps`` — per-state tuple of ε-successors;
     * ``delta_size`` — |Δ| after compilation (counts expanded wildcard
       transitions and ε-transitions).
+
+    Three derived layouts feed the label-indexed product-BFS (see
+    :attr:`repro.graph.database.Graph.out_csr`):
+
+    * ``firing_labels`` — per-state tuple of the label ids on which the
+      state has at least one transition, ascending;
+    * ``firing_sets`` — the same as frozensets, for O(1) membership
+      when intersecting with a vertex's out-label tuple;
+    * ``delta_dense`` — the transition table as one flat tuple indexed
+      ``q * |Σ| + a`` (successor tuple, ``()`` when the state cannot
+      fire on ``a``), trading O(|Q| × |Σ|) memory for branch-free
+      lookups in the hot loop.
     """
 
     __slots__ = (
@@ -66,6 +78,10 @@ class CompiledQuery:
         "eps",
         "has_eps",
         "delta_size",
+        "label_count",
+        "firing_labels",
+        "firing_sets",
+        "delta_dense",
     )
 
     def __init__(
@@ -91,6 +107,20 @@ class CompiledQuery:
         self.delta_size = sum(
             len(ts) for d in delta for ts in d.values()
         ) + sum(len(es) for es in eps)
+        n_labels = graph.label_count
+        self.label_count = n_labels
+        self.firing_labels: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(sorted(d)) for d in delta
+        )
+        self.firing_sets: Tuple[FrozenSet[int], ...] = tuple(
+            frozenset(d) for d in delta
+        )
+        dense: List[Tuple[int, ...]] = [()] * (n_states * n_labels)
+        for q, d in enumerate(delta):
+            base = q * n_labels
+            for a, ts in d.items():
+                dense[base + a] = ts
+        self.delta_dense: Tuple[Tuple[int, ...], ...] = tuple(dense)
 
     def size(self) -> int:
         """The compiled ``|A| = |Q| + |Δ|`` (alphabet shared with D)."""

@@ -7,6 +7,13 @@ visited at most once.  Afterwards, *any* vertex can serve as a target:
 its λ and start-state certificate are read off the saturated ``L``
 maps, and the ordinary enumeration runs per target over the one shared
 trimmed annotation.
+
+Saturation visits the *entire* reachable product, so it benefits the
+most from the label-indexed traversal (every frontier pair pays the
+intersection cost, none is cut short by an early stop).  The
+``reference`` flag switches to the retained pre-index traversals —
+useful for A/B measurements and the equivalence tests, not for
+production use.
 """
 
 from __future__ import annotations
@@ -14,8 +21,8 @@ from __future__ import annotations
 from typing import Hashable, Iterator, List, Optional, Tuple
 
 from repro.automata.nfa import NFA
-from repro.core.annotate import Annotation, annotate
-from repro.core.cheapest import cheapest_annotate
+from repro.core.annotate import Annotation, annotate, annotate_reference
+from repro.core.cheapest import cheapest_annotate, cheapest_annotate_reference
 from repro.core.compile import compile_query
 from repro.core.enumerate import enumerate_walks
 from repro.core.trim import TrimmedAnnotation, trim
@@ -43,12 +50,14 @@ class MultiTargetShortestWalks:
         query,
         source: Hashable,
         cheapest: bool = False,
+        reference: bool = False,
     ) -> None:
         from repro.core._query_input import as_nfa
 
         self.graph = graph
         self.source = graph.resolve_vertex(source)
         self.cheapest = cheapest
+        self.reference = reference
         self.automaton = as_nfa(query)
         self._cq = compile_query(graph, self.automaton)
         self._annotation: Optional[Annotation] = None
@@ -57,7 +66,14 @@ class MultiTargetShortestWalks:
     def preprocess(self) -> "MultiTargetShortestWalks":
         """Saturating annotate + trim; idempotent."""
         if self._annotation is None:
-            annotate_fn = cheapest_annotate if self.cheapest else annotate
+            if self.reference:
+                annotate_fn = (
+                    cheapest_annotate_reference
+                    if self.cheapest
+                    else annotate_reference
+                )
+            else:
+                annotate_fn = cheapest_annotate if self.cheapest else annotate
             self._annotation = annotate_fn(
                 self._cq, self.source, None, saturate=True
             )

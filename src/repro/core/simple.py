@@ -11,6 +11,11 @@ machinery.
 The paper notes that *detecting* this setting takes linear time, so an
 engine can always try the fast path first; see
 :func:`repro.query.plan.analyze`.
+
+The product BFS here rides the same label-indexed CSR adjacency as the
+general ``Annotate`` (:attr:`repro.graph.database.Graph.out_csr`): per
+frontier pair it touches only the buckets ``Out_a(v)`` for the labels
+``a`` the deterministic state can fire on.
 """
 
 from __future__ import annotations
@@ -76,10 +81,12 @@ class SimpleShortestWalks:
             return self
         self._preprocessed = True
         graph, cq = self.graph, self._cq
-        out = graph.out_array
+        n = graph.vertex_count
         tgt_arr = graph.tgt_array
-        labels_arr = graph.label_array
-        delta = cq.delta
+        indptr, csr_edges = graph.out_csr
+        firing = cq.firing_labels
+        dense = cq.delta_dense
+        n_labels = cq.label_count
         final = cq.final
 
         (q0,) = cq.initial  # Deterministic: exactly one initial state.
@@ -99,24 +106,30 @@ class SimpleShortestWalks:
             current, frontier = frontier, []
             for v, q in current:
                 from_key = self._key(v, q)
-                dq = delta[q]
-                for e in out[v]:
-                    (a,) = labels_arr[e]  # Single-labeled database.
-                    targets = dq.get(a)
-                    if not targets:
+                # Single-labeled database + deterministic automaton:
+                # every product edge agrees on exactly one label, so
+                # iterating the state's firing labels over the CSR
+                # buckets covers Out(v) ∩ Δ(q) exactly once.
+                q_base = q * n_labels
+                for a in firing[q]:
+                    b = a * n + v
+                    start, end = indptr[b], indptr[b + 1]
+                    if start == end:
                         continue
-                    (p,) = targets  # Deterministic automaton.
-                    u = tgt_arr[e]
-                    key = self._key(u, p)
-                    known = dist.get(key)
-                    if known is None:
-                        dist[key] = level
-                        parents[key] = [(e, from_key)]
-                        frontier.append((u, p))
-                        if u == self.target and p in final:
-                            found = True
-                    elif known == level:
-                        parents[key].append((e, from_key))
+                    (p,) = dense[q_base + a]  # Deterministic automaton.
+                    for j in range(start, end):
+                        e = csr_edges[j]
+                        u = tgt_arr[e]
+                        key = self._key(u, p)
+                        known = dist.get(key)
+                        if known is None:
+                            dist[key] = level
+                            parents[key] = [(e, from_key)]
+                            frontier.append((u, p))
+                            if u == self.target and p in final:
+                                found = True
+                        elif known == level:
+                            parents[key].append((e, from_key))
         if found:
             self._lam = level
             self._final_keys = [

@@ -22,11 +22,40 @@ Paper               Here
 ``TgtIdx(e)``       :meth:`Graph.tgt_idx`
 ``|D|``             :meth:`Graph.size`
 ==================  =======================================
+
+Label-indexed CSR adjacency
+---------------------------
+
+On top of the paper's ``In``/``Out`` arrays the class maintains a
+*label-indexed* compressed-sparse-row view of the incidence relation
+``{(e, a) : a ∈ Lbl(e)}``, bucketed by ``(label, endpoint)``:
+
+* ``Out_a(v)`` — edges leaving ``v`` that carry label ``a`` —
+  :meth:`Graph.out_by_label`;
+* ``In_a(v)`` — edges entering ``v`` that carry label ``a`` —
+  :meth:`Graph.in_by_label`.
+
+The index is two flat ``array('q')`` buffers per direction (an
+``indptr`` of |Σ|·|V| + 1 bucket offsets and an edge-id payload of
+``Σ_e |Lbl(e)|`` entries, bucket ``a·|V| + v``), built lazily in
+O(|D|) by counting sort on first use and cached for the lifetime of
+the (immutable) graph.  The product-BFS of ``Annotate`` consumes the
+raw buffers via :attr:`Graph.out_csr` / :attr:`Graph.in_csr`: instead
+of scanning all of ``Out(v)`` and every label of every edge, it only
+touches the labels on which the automaton state can fire — the
+per-pair cost drops from O(OutDeg(v) × |Lbl|) to
+O(Σ_{a ∈ labels(q)} |Out_a(v)|).
 """
 
 from __future__ import annotations
 
+from array import array
 from typing import Dict, Hashable, Iterator, List, Optional, Sequence, Tuple
+
+#: A label-indexed CSR view: (bucket offsets, edge-id payload).  Bucket
+#: ``a * |V| + v`` spans ``payload[indptr[b] : indptr[b + 1]]``, edge
+#: ids in ascending order.
+CsrIndex = Tuple[array, array]
 
 from repro.exceptions import (
     UnknownEdgeError,
@@ -56,6 +85,11 @@ class Graph:
         "_out",
         "_in",
         "_tgt_idx",
+        "_out_csr",
+        "_in_csr",
+        "_out_label_tuples",
+        "_in_label_tuples",
+        "_cost_cache",
     )
 
     def __init__(
@@ -110,6 +144,14 @@ class Graph:
             for i, e in enumerate(in_list):
                 tgt_idx[e] = i
         self._tgt_idx: Tuple[int, ...] = tuple(tgt_idx)
+
+        # Label-indexed CSR views and per-vertex label summaries are
+        # built lazily (O(|D|) counting sort) on first use.
+        self._out_csr: Optional[CsrIndex] = None
+        self._in_csr: Optional[CsrIndex] = None
+        self._out_label_tuples: Optional[Tuple[Tuple[int, ...], ...]] = None
+        self._in_label_tuples: Optional[Tuple[Tuple[int, ...], ...]] = None
+        self._cost_cache: Optional[Tuple[int, ...]] = None
 
     # -- global counts ----------------------------------------------------
 
@@ -271,6 +313,116 @@ class Graph:
         """The ``d`` of Section 4.2 (0 for the empty graph)."""
         return max((len(es) for es in self._in), default=0)
 
+    # -- label-indexed CSR adjacency -------------------------------------------
+
+    def _build_csr(self, endpoint: Tuple[int, ...]) -> CsrIndex:
+        """Counting-sort the (edge, label) incidences by (label, endpoint).
+
+        O(|Σ|·|V| + Σ_e |Lbl(e)|) ⊆ O(|D|) for a fixed alphabet; edge
+        ids within each bucket stay in ascending order because edges
+        are scattered in edge-id order.
+        """
+        n = self.vertex_count
+        n_buckets = self.label_count * n
+        counts = [0] * (n_buckets + 1)
+        for e, v in enumerate(endpoint):
+            for a in self._labels[e]:
+                counts[a * n + v + 1] += 1
+        for b in range(1, n_buckets + 1):
+            counts[b] += counts[b - 1]
+        indptr = array("q", counts)
+        payload = array("q", bytes(8 * counts[n_buckets]))
+        cursor = counts[:-1]
+        for e, v in enumerate(endpoint):
+            for a in self._labels[e]:
+                b = a * n + v
+                payload[cursor[b]] = e
+                cursor[b] += 1
+        return indptr, payload
+
+    def _label_tuples(self, csr: CsrIndex) -> Tuple[Tuple[int, ...], ...]:
+        """Per-vertex tuples of distinct labels with a non-empty bucket."""
+        n = self.vertex_count
+        indptr, _ = csr
+        present: List[List[int]] = [[] for _ in range(n)]
+        for a in range(self.label_count):
+            base = a * n
+            for v in range(n):
+                if indptr[base + v] < indptr[base + v + 1]:
+                    present[v].append(a)
+        return tuple(tuple(ls) for ls in present)
+
+    @property
+    def out_csr(self) -> CsrIndex:
+        """Raw label-indexed out-CSR ``(indptr, edge ids)`` (hot path).
+
+        Bucket ``a * |V| + v`` holds ``Out_a(v)`` in edge-id order.
+        """
+        if self._out_csr is None:
+            self._out_csr = self._build_csr(self._src)
+        return self._out_csr
+
+    @property
+    def in_csr(self) -> CsrIndex:
+        """Raw label-indexed in-CSR ``(indptr, edge ids)`` (hot path).
+
+        Bucket ``a * |V| + v`` holds ``In_a(v)`` in edge-id order.
+        """
+        if self._in_csr is None:
+            self._in_csr = self._build_csr(self._tgt)
+        return self._in_csr
+
+    def out_by_label(self, v: int, a: int) -> Tuple[int, ...]:
+        """``Out_a(v)`` — edges leaving ``v`` carrying label ``a``.
+
+        Edge ids in ascending order; the empty tuple when ``v`` has no
+        out-edge with that label.  O(1) bucket lookup after the lazy
+        O(|D|) index build.
+        """
+        if not 0 <= v < self.vertex_count:
+            raise UnknownVertexError(v)
+        if not 0 <= a < self.label_count:
+            raise UnknownLabelError(a)
+        indptr, payload = self.out_csr
+        b = a * self.vertex_count + v
+        return tuple(payload[indptr[b]:indptr[b + 1]])
+
+    def in_by_label(self, v: int, a: int) -> Tuple[int, ...]:
+        """``In_a(v)`` — edges entering ``v`` carrying label ``a``."""
+        if not 0 <= v < self.vertex_count:
+            raise UnknownVertexError(v)
+        if not 0 <= a < self.label_count:
+            raise UnknownLabelError(a)
+        indptr, payload = self.in_csr
+        b = a * self.vertex_count + v
+        return tuple(payload[indptr[b]:indptr[b + 1]])
+
+    def out_labels(self, v: int) -> Tuple[int, ...]:
+        """Distinct label ids appearing on ``Out(v)``, ascending."""
+        if not 0 <= v < self.vertex_count:
+            raise UnknownVertexError(v)
+        return self.out_labels_array[v]
+
+    def in_labels(self, v: int) -> Tuple[int, ...]:
+        """Distinct label ids appearing on ``In(v)``, ascending."""
+        if not 0 <= v < self.vertex_count:
+            raise UnknownVertexError(v)
+        return self.in_labels_array[v]
+
+    @property
+    def out_labels_array(self) -> Tuple[Tuple[int, ...], ...]:
+        """Vertex-id-indexed distinct out-label tuples (hot path)."""
+        if self._out_label_tuples is None:
+            self._out_label_tuples = self._label_tuples(self.out_csr)
+        return self._out_label_tuples
+
+    @property
+    def in_labels_array(self) -> Tuple[Tuple[int, ...], ...]:
+        """Vertex-id-indexed distinct in-label tuples (hot path)."""
+        if self._in_label_tuples is None:
+            self._in_label_tuples = self._label_tuples(self.in_csr)
+        return self._in_label_tuples
+
     # -- raw arrays for hot loops ------------------------------------------------
 
     # The enumeration core reads these tuples directly instead of going
@@ -309,10 +461,16 @@ class Graph:
 
     @property
     def cost_array(self) -> Tuple[int, ...]:
-        """Edge-id-indexed costs; unit costs when none were provided."""
-        if self._costs is None:
-            return tuple([1] * self.edge_count)
-        return self._costs
+        """Edge-id-indexed costs; unit costs when none were provided.
+
+        Memoized: the unit-cost tuple is materialized once, not on
+        every access (the Dijkstra setup reads this per query).
+        """
+        if self._costs is not None:
+            return self._costs
+        if self._cost_cache is None:
+            self._cost_cache = tuple([1] * self.edge_count)
+        return self._cost_cache
 
     # -- convenience ----------------------------------------------------------------
 

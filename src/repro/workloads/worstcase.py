@@ -11,7 +11,12 @@
 * :func:`decoy_indegree` — a diamond chain whose in-degrees are
   inflated by never-matched decoy edges: the instance that separates
   the trimmed enumeration from the factor-``d`` strawman of
-  Section 3.2 (experiment EXP-ABL-TRIM).
+  Section 3.2 (experiment EXP-ABL-TRIM);
+* :func:`label_soup` — a diamond chain drowned in labels the query
+  never fires on: the instance that separates the label-indexed
+  product-BFS (cost ∝ matching labels only) from the edge-major scan
+  (cost ∝ OutDeg(v) × |Lbl(e)|) in EXP-ADJ
+  (``benchmarks/bench_adjacency.py``).
 """
 
 from __future__ import annotations
@@ -117,6 +122,48 @@ def decoy_indegree(
             builder.add_edge("decoy_hub", f"v{i}", [decoy_label])
         for _ in range(parallel):
             builder.add_edge(f"v{i - 1}", f"v{i}", [label])
+    nfa = NFA(1)
+    nfa.add_transition(0, label, 0)
+    nfa.set_initial(0)
+    nfa.set_final(0)
+    return builder.build(), nfa, "v0", f"v{k}"
+
+
+def label_soup(
+    k: int,
+    parallel: int = 2,
+    extra_labels: int = 8,
+    noise_out: int = 4,
+    label: str = "a",
+) -> Tuple[Graph, NFA, str, str]:
+    """A diamond chain where almost every label never fires.
+
+    Two orthogonal label inflations over :func:`diamond_chain`:
+
+    * every matching chain edge *additionally* carries ``extra_labels``
+      noise labels ``x0 .. x{extra_labels-1}`` — the edge-major scan
+      probes Δ once per label and misses on all but ``label``;
+    * every chain vertex also gets ``noise_out`` out-edges (to the next
+      vertex) carrying only noise labels — the edge-major scan walks
+      them in full, the label-indexed one never sees them.
+
+    Answer set unchanged: ``parallel**k`` walks of length ``k``
+    matching ``label*``.  With the defaults each frontier expansion
+    costs the reference traversal 22 (edge, label) probes — 2 matching
+    edges × 9 labels + 4 noise edges × 1 label — versus 2 CSR hits in
+    the indexed one, which is the O(OutDeg × |Lbl|) → O(Σ_a |Out_a|)
+    separation of the CSR layer at its starkest.
+
+    Returns ``(graph, nfa, source_name, target_name)``.
+    """
+    noise = [f"x{j}" for j in range(extra_labels)]
+    builder = GraphBuilder()
+    builder.add_vertex("v0")
+    for i in range(1, k + 1):
+        for _ in range(parallel):
+            builder.add_edge(f"v{i - 1}", f"v{i}", [label] + noise)
+        for j in range(noise_out if extra_labels else 0):
+            builder.add_edge(f"v{i - 1}", f"v{i}", [noise[j % extra_labels]])
     nfa = NFA(1)
     nfa.add_transition(0, label, 0)
     nfa.set_initial(0)

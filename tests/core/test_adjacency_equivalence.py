@@ -1,0 +1,195 @@
+"""Equivalence of the label-indexed and reference annotations.
+
+The indexed ``annotate`` / ``cheapest_annotate`` must produce the same
+:class:`~repro.core.annotate.Annotation` contents — ``L``, ``B`` (as a
+multiset per cell: entry order within a cell is unspecified), ``lam``
+and ``target_states`` — as the retained ``*_reference`` traversals, on
+random graphs × random automata, in both the target-stopped and the
+saturating mode.
+
+One documented exception: with the **pairing heap** in target mode,
+``L``/``B`` entries for product pairs *beyond* λ may differ.  Once λ is
+known, relaxations of cost > λ are pruned, and whether a tied pop (cost
+= λ) happens before or after the target's pop depends on heap insertion
+order — which legitimately differs between the edge-major and
+label-major relaxation sequences.  Entries beyond λ are dead weight the
+enumeration can never reach (the budget hits zero first), so the test
+compares the two annotations restricted to entries of cost ≤ λ and
+additionally checks the enumerated walk sets match exactly.  The binary
+heap pops ties in deterministic ``(cost, v, q)`` order, so it is exact.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.annotate import annotate, annotate_reference
+from repro.core.cheapest import cheapest_annotate, cheapest_annotate_reference
+from repro.core.compile import compile_query
+from repro.core.enumerate import enumerate_walks
+from repro.core.trim import trim
+from repro.graph.builder import GraphBuilder
+
+from tests.conftest import small_instances, small_nfas
+
+_SETTINGS = dict(max_examples=60, deadline=None)
+
+
+@st.composite
+def costed_instances(draw):
+    """A Distinct Cheapest Walks instance with random positive costs."""
+    n = draw(st.integers(min_value=1, max_value=6))
+    m = draw(st.integers(min_value=0, max_value=12))
+    builder = GraphBuilder()
+    builder.add_vertices([f"v{i}" for i in range(n)])
+    for _ in range(m):
+        src = draw(st.integers(min_value=0, max_value=n - 1))
+        tgt = draw(st.integers(min_value=0, max_value=n - 1))
+        labels = draw(
+            st.sets(st.sampled_from(("a", "b", "c")), min_size=1, max_size=3)
+        )
+        cost = draw(st.integers(min_value=1, max_value=5))
+        builder.add_edge(f"v{src}", f"v{tgt}", sorted(labels), cost=cost)
+    graph = builder.build()
+    nfa = draw(small_nfas())
+    s = draw(st.integers(min_value=0, max_value=n - 1))
+    t = draw(st.integers(min_value=0, max_value=n - 1))
+    return graph, nfa, s, t
+
+
+def _norm_B(B):
+    """B with cells as sorted lists and empty cells/states dropped."""
+    return [
+        {
+            p: {i: sorted(preds) for i, preds in cells.items() if preds}
+            for p, cells in per_vertex.items()
+            if any(cells.values())
+        }
+        for per_vertex in B
+    ]
+
+
+def assert_same_annotation(got, want):
+    assert got.lam == want.lam
+    assert got.L == want.L
+    assert _norm_B(got.B) == _norm_B(want.B)
+    assert got.target_states == want.target_states
+    assert got.initial_closure == want.initial_closure
+    assert got.final == want.final
+
+
+def assert_same_up_to_lam(got, want):
+    """Equality of everything the enumeration can reach (cost ≤ λ)."""
+    assert got.lam == want.lam
+    assert got.target_states == want.target_states
+    lam = got.lam
+    if lam is None:
+        # No pruning ever happened: the runs must be exactly equal.
+        assert_same_annotation(got, want)
+        return
+    for v in range(len(got.L)):
+        trim_L = lambda m: {p: d for p, d in m.items() if d <= lam}
+        assert trim_L(got.L[v]) == trim_L(want.L[v]), v
+        gb = {p: c for p, c in got.B[v].items() if got.L[v].get(p, lam + 1) <= lam}
+        wb = {p: c for p, c in want.B[v].items() if want.L[v].get(p, lam + 1) <= lam}
+        assert _norm_B([gb]) == _norm_B([wb]), v
+
+
+class TestAnnotateEquivalence:
+    @given(small_instances())
+    @settings(**_SETTINGS)
+    def test_target_mode(self, instance):
+        graph, nfa, s, t = instance
+        cq = compile_query(graph, nfa)
+        assert_same_annotation(
+            annotate(cq, s, t), annotate_reference(cq, s, t)
+        )
+
+    @given(small_instances())
+    @settings(**_SETTINGS)
+    def test_saturating_mode(self, instance):
+        graph, nfa, s, _ = instance
+        cq = compile_query(graph, nfa)
+        assert_same_annotation(
+            annotate(cq, s, saturate=True),
+            annotate_reference(cq, s, saturate=True),
+        )
+
+    @given(small_instances(allow_epsilon=True))
+    @settings(**_SETTINGS)
+    def test_epsilon_queries_delegate(self, instance):
+        """With explicit ε (eliminate_epsilon=False) the indexed entry
+        point must behave exactly like the reference — PossiblyVisit's
+        output is visit-order-sensitive, so the fast path defers."""
+        graph, nfa, s, t = instance
+        cq = compile_query(graph, nfa, eliminate_epsilon=False)
+        assert_same_annotation(
+            annotate(cq, s, t), annotate_reference(cq, s, t)
+        )
+
+
+class TestCheapestEquivalence:
+    @given(costed_instances())
+    @settings(**_SETTINGS)
+    def test_target_mode_binary(self, instance):
+        graph, nfa, s, t = instance
+        cq = compile_query(graph, nfa)
+        assert_same_annotation(
+            cheapest_annotate(cq, s, t, heap="binary"),
+            cheapest_annotate_reference(cq, s, t, heap="binary"),
+        )
+
+    @given(costed_instances())
+    @settings(**_SETTINGS)
+    def test_saturating_mode_both_heaps(self, instance):
+        graph, nfa, s, _ = instance
+        cq = compile_query(graph, nfa)
+        for heap in ("binary", "pairing"):
+            assert_same_annotation(
+                cheapest_annotate(cq, s, saturate=True, heap=heap),
+                cheapest_annotate_reference(cq, s, saturate=True, heap=heap),
+            )
+
+    @given(costed_instances())
+    @settings(**_SETTINGS)
+    def test_target_mode_pairing_up_to_lam(self, instance):
+        graph, nfa, s, t = instance
+        cq = compile_query(graph, nfa)
+        got = cheapest_annotate(cq, s, t, heap="pairing")
+        want = cheapest_annotate_reference(cq, s, t, heap="pairing")
+        assert_same_up_to_lam(got, want)
+        # Beyond-λ entries are unreachable: the answers must agree.
+        cost_arr = graph.cost_array
+
+        def answers(ann):
+            return sorted(
+                w.edges
+                for w in enumerate_walks(
+                    graph,
+                    trim(graph, ann),
+                    ann.lam,
+                    t,
+                    ann.target_states,
+                    cost_of=lambda e: cost_arr[e],
+                )
+            )
+
+        assert answers(got) == answers(want)
+
+
+class TestReferenceIsRetained:
+    """The reference traversals stay importable from the package root
+    (they are the documented baseline of bench_adjacency)."""
+
+    def test_exports(self):
+        from repro.core import (  # noqa: F401
+            annotate_reference,
+            cheapest_annotate_reference,
+        )
+
+    def test_engine_uses_indexed_annotate(self):
+        import repro.core.engine as engine_mod
+
+        assert engine_mod.annotate is annotate

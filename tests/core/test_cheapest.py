@@ -166,8 +166,26 @@ class TestCheapestOracle:
         if s == t:
             best["cost"], best["walks"] = 0, {()}
         else:
-            # Upper bound: any path found greedily; DFS prunes with it.
-            explore(s, 0, [])
+            # Seed the prune bound with a test-local Dijkstra first:
+            # without it the DFS has no bound until its first complete
+            # walk and blows up exponentially whenever t is unreachable
+            # but a cyclic component is reachable from s.
+            import heapq
+
+            dist = {s: 0}
+            heap = [(0, s)]
+            while heap:
+                c, v = heapq.heappop(heap)
+                if c > dist[v]:
+                    continue
+                for e in graph.out_edges(v):
+                    u, nc = graph.tgt(e), c + graph.cost(e)
+                    if nc < dist.get(u, nc + 1):
+                        dist[u] = nc
+                        heapq.heappush(heap, (nc, u))
+            if t in dist:
+                best["cost"] = dist[t]
+                explore(s, 0, [])
 
         engine = DistinctCheapestWalks(graph, nfa, s, t)
         got = sorted(w.edges for w in engine.enumerate())

@@ -99,6 +99,30 @@ class TestWorstCase:
         engine = DistinctShortestWalks(graph, nfa, s, t)
         assert engine.count() == 3 ** 6
 
+    def test_label_soup_answer_set_unchanged_by_noise(self):
+        from repro.workloads.worstcase import label_soup
+
+        graph, nfa, s, t = label_soup(
+            5, parallel=2, extra_labels=6, noise_out=3
+        )
+        # 6 noise labels + the matching one; noise edges are real.
+        assert graph.label_count == 7
+        assert graph.edge_count == 5 * (2 + 3)
+        engine = DistinctShortestWalks(graph, nfa, s, t)
+        assert engine.count() == 2 ** 5
+        assert engine.lam == 5
+
+    def test_label_soup_without_noise_is_diamond_chain(self):
+        from repro.workloads.worstcase import label_soup
+
+        graph, nfa, s, t = label_soup(
+            4, parallel=3, extra_labels=0, noise_out=5
+        )
+        assert graph.label_count == 1
+        assert graph.edge_count == 4 * 3  # noise needs noise labels
+        engine = DistinctShortestWalks(graph, nfa, s, t)
+        assert engine.count() == 3 ** 4
+
 
 class TestQueryCatalog:
     @pytest.mark.parametrize("name", sorted(QUERY_CATALOG))
