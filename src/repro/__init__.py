@@ -65,6 +65,7 @@ from repro.graph import (
     project,
 )
 from repro.query import RPQ, PathPattern, analyze, parse_pattern, rpq
+from repro.service import QueryRequest, QueryResponse, QueryService
 
 __version__ = "1.0.0"
 
@@ -85,6 +86,9 @@ __all__ = [
     "PatternSyntaxError",
     "PropertyGraph",
     "QueryError",
+    "QueryRequest",
+    "QueryResponse",
+    "QueryService",
     "RPQ",
     "RegexSyntaxError",
     "ReproError",

@@ -9,6 +9,7 @@ Usage (also available as ``python -m repro``)::
     python -m repro count   GRAPH "h* s (h | s)*" Alix Bob
     python -m repro plan    GRAPH "(a | b)* c"
     python -m repro stats   GRAPH
+    python -m repro batch   GRAPH requests.jsonl --workers 4 --stats
 
 ``GRAPH`` is a path to either a JSON database (``save_json``) or the
 line-based edge-list format::
@@ -16,8 +17,15 @@ line-based edge-list format::
     Alix -> Dan : h, s
     Dan  -> Eve : h @ 3      # optional cost after '@'
 
-Exit codes: 0 = answers found / info printed, 1 = no matching walk,
-2 = input error (bad file, vertex, or query syntax).
+``batch`` runs a JSONL file of requests (one JSON object per line, see
+:mod:`repro.service.requests`) through a cached
+:class:`~repro.service.QueryService` and prints one JSON response per
+line; per-request problems become ``"status": "error"`` response lines
+rather than aborting the batch.
+
+Exit codes: 0 = answers found / info printed, 1 = no matching walk
+(for ``batch``: at least one request errored), 2 = input error (bad
+file, vertex, query syntax, or malformed JSONL).
 """
 
 from __future__ import annotations
@@ -213,6 +221,34 @@ def _cmd_count(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_batch(args: argparse.Namespace) -> int:
+    """Run a JSONL batch of requests through a cached QueryService."""
+    import json
+
+    from repro.service import QueryService, read_requests_jsonl
+
+    graph = _load_graph(args.graph)
+    requests_path = Path(args.requests)
+    if not requests_path.exists():
+        raise ReproError(f"requests file not found: {args.requests}")
+    with requests_path.open("r", encoding="utf-8") as fh:
+        requests = list(read_requests_jsonl(fh))
+
+    service = QueryService(
+        plan_cache_size=args.plan_cache,
+        annotation_cache_size=args.annotation_cache,
+        default_mode=args.mode,
+        max_workers=args.workers,
+    )
+    service.register_graph("default", graph)
+    responses = service.execute_batch(requests)
+    for response in responses:
+        print(response.to_json())
+    if args.stats:
+        print(json.dumps(service.stats(), indent=2), file=sys.stderr)
+    return 1 if any(r.status == "error" for r in responses) else 0
+
+
 def _cmd_plan(args: argparse.Namespace) -> int:
     graph = _load_graph(args.graph)
     query = rpq(args.expression, method=args.construction)
@@ -318,6 +354,45 @@ def build_parser() -> argparse.ArgumentParser:
         default="thompson",
     )
     count.set_defaults(func=_cmd_count)
+
+    batch = sub.add_parser(
+        "batch",
+        help="run a JSONL file of requests through the caching service",
+    )
+    batch.add_argument("graph", help="graph file (.json or edge list)")
+    batch.add_argument(
+        "requests", help="JSONL file, one request object per line"
+    )
+    batch.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="thread-pool size for the batch executor (default: 4)",
+    )
+    batch.add_argument(
+        "--mode",
+        choices=["iterative", "recursive", "memoryless"],
+        default="memoryless",
+        help="service default mode for requests that do not set one",
+    )
+    batch.add_argument(
+        "--plan-cache",
+        type=int,
+        default=256,
+        help="plan cache capacity; 0 disables plan caching",
+    )
+    batch.add_argument(
+        "--annotation-cache",
+        type=int,
+        default=128,
+        help="annotation cache capacity; 0 = cold per-request execution",
+    )
+    batch.add_argument(
+        "--stats",
+        action="store_true",
+        help="print service statistics (cache hit rates, timings) to stderr",
+    )
+    batch.set_defaults(func=_cmd_batch)
 
     plan = sub.add_parser("plan", help="explain the chosen algorithm")
     plan.add_argument("graph")

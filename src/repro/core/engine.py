@@ -67,11 +67,34 @@ class DistinctShortestWalks:
         source: Hashable,
         target: Hashable,
         mode: str = "iterative",
+        compiled: Optional[CompiledQuery] = None,
     ) -> None:
+        """``compiled`` injects a pre-built :class:`CompiledQuery` —
+        the plan-cache hook of :mod:`repro.service`: a cached plan
+        skips the compile phase entirely.  It must have been produced
+        by :func:`~repro.core.compile.compile_query` for this exact
+        ``graph`` and ``query`` automaton (checked by identity: label
+        ids and ε-closures are graph- and automaton-specific)."""
         if mode not in _MODES:
             raise QueryError(f"unknown mode {mode!r}; expected one of {_MODES}")
         self.graph = graph
         self.automaton = as_nfa(query)
+        # Keep the caller's original vertex designators: resolve_vertex
+        # is not idempotent on graphs whose vertex *names* are ints, so
+        # sub-engines that resolve names themselves must be handed the
+        # originals, never the resolved ids.
+        self._source_input = source
+        self._target_input = target
+        if compiled is not None:
+            if compiled.graph is not graph:
+                raise QueryError(
+                    "compiled query belongs to a different graph"
+                )
+            if compiled.automaton is not self.automaton:
+                raise QueryError(
+                    "compiled query belongs to a different automaton"
+                )
+        self._compiled = compiled
         self.source = graph.resolve_vertex(source)
         self.target = graph.resolve_vertex(target)
         self.mode = mode
@@ -104,13 +127,17 @@ class DistinctShortestWalks:
         started = time.perf_counter()
         if self.uses_fast_path:
             self._simple = SimpleShortestWalks(
-                self.graph, self.automaton, self.source, self.target
+                self.graph, self.automaton,
+                self._source_input, self._target_input,
             ).preprocess()
             self.timings["total"] = time.perf_counter() - started
             return self
 
         t0 = time.perf_counter()
-        self._cq = compile_query(self.graph, self.automaton)
+        if self._compiled is not None:
+            self._cq = self._compiled
+        else:
+            self._cq = compile_query(self.graph, self.automaton)
         t1 = time.perf_counter()
         self._annotation = annotate(self._cq, self.source, self.target)
         t2 = time.perf_counter()

@@ -182,17 +182,27 @@ def enumerate_memoryless(
     target: int,
     start_states: FrozenSet[int],
     cost_of: Optional[CostFn] = None,
+    resume_after: Optional[Sequence[int]] = None,
 ) -> Iterator[Walk]:
     """Generator facade over :func:`next_output`.
 
     Each step forgets everything except the previous walk — the
     generator exists purely for caller convenience and can be resumed
-    from any output by calling :func:`next_output` directly.
+    from any output by calling :func:`next_output` directly, or by
+    passing that output's edge sequence as ``resume_after`` (the O(1)
+    cursor the query service hands out for limit/offset pagination:
+    the enumeration continues strictly *after* that walk).
     """
     if budget == 0 and start_states:
-        yield Walk(graph, (), start=target)
+        # The single trivial answer ⟨t⟩; a resume point means it was
+        # already delivered.
+        if resume_after is None:
+            yield Walk(graph, (), start=target)
         return
-    walk = next_output(graph, resumable, budget, target, start_states, None, cost_of)
+    previous = tuple(resume_after) if resume_after is not None else None
+    walk = next_output(
+        graph, resumable, budget, target, start_states, previous, cost_of
+    )
     while walk is not None:
         yield walk
         walk = next_output(

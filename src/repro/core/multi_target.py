@@ -18,15 +18,23 @@ production use.
 
 from __future__ import annotations
 
-from typing import Hashable, Iterator, List, Optional, Tuple
+import threading
+from typing import Hashable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.automata.nfa import NFA
 from repro.core.annotate import Annotation, annotate, annotate_reference
 from repro.core.cheapest import cheapest_annotate, cheapest_annotate_reference
-from repro.core.compile import compile_query
+from repro.core.compile import CompiledQuery, compile_query
 from repro.core.enumerate import enumerate_walks
-from repro.core.trim import TrimmedAnnotation, trim
+from repro.core.memoryless import enumerate_memoryless
+from repro.core.trim import (
+    ResumableAnnotation,
+    TrimmedAnnotation,
+    resumable_trim,
+    trim,
+)
 from repro.core.walks import Walk
+from repro.exceptions import QueryError
 from repro.graph.database import Graph
 
 
@@ -51,7 +59,12 @@ class MultiTargetShortestWalks:
         source: Hashable,
         cheapest: bool = False,
         reference: bool = False,
+        compiled: Optional[CompiledQuery] = None,
     ) -> None:
+        """``compiled`` injects a pre-built
+        :class:`~repro.core.compile.CompiledQuery` (the plan-cache hook
+        of :mod:`repro.service`); it must match ``graph`` and the
+        ``query`` automaton by identity."""
         from repro.core._query_input import as_nfa
 
         self.graph = graph
@@ -59,9 +72,24 @@ class MultiTargetShortestWalks:
         self.cheapest = cheapest
         self.reference = reference
         self.automaton = as_nfa(query)
-        self._cq = compile_query(graph, self.automaton)
+        if compiled is not None:
+            if compiled.graph is not graph:
+                raise QueryError(
+                    "compiled query belongs to a different graph"
+                )
+            if compiled.automaton is not self.automaton:
+                raise QueryError(
+                    "compiled query belongs to a different automaton"
+                )
+            self._cq = compiled
+        else:
+            self._cq = compile_query(graph, self.automaton)
         self._annotation: Optional[Annotation] = None
         self._trimmed: Optional[TrimmedAnnotation] = None
+        self._resumable: Optional[ResumableAnnotation] = None
+        # Build-once guard for the lazily derived resumable structure —
+        # it may be requested concurrently by the service's thread pool.
+        self._resumable_lock = threading.Lock()
 
     def preprocess(self) -> "MultiTargetShortestWalks":
         """Saturating annotate + trim; idempotent."""
@@ -79,6 +107,42 @@ class MultiTargetShortestWalks:
             )
             self._trimmed = trim(self.graph, self._annotation)
         return self
+
+    # -- structure access ----------------------------------------------------
+
+    @property
+    def annotation(self) -> Annotation:
+        """The saturated annotation (preprocesses on first access)."""
+        self.preprocess()
+        assert self._annotation is not None
+        return self._annotation
+
+    @property
+    def trimmed(self) -> TrimmedAnnotation:
+        """The shared trimmed annotation (cursors are mutable state —
+        see :meth:`walks_to` for the safe ways to enumerate over it)."""
+        self.preprocess()
+        assert self._trimmed is not None
+        return self._trimmed
+
+    @property
+    def resumable(self) -> ResumableAnnotation:
+        """The read-only ``ResumableTrim`` form, built once on demand.
+
+        Unlike :attr:`trimmed` it is never mutated, so any number of
+        concurrent enumerations (one per target, or several pages of
+        the same target) may share it — this is the structure the
+        batched query service caches per ``(query, source)``.
+        """
+        self.preprocess()
+        if self._resumable is None:
+            with self._resumable_lock:
+                if self._resumable is None:
+                    assert self._annotation is not None
+                    self._resumable = resumable_trim(
+                        self.graph, self._annotation
+                    )
+        return self._resumable
 
     # -- target inspection ---------------------------------------------------
 
@@ -109,20 +173,60 @@ class MultiTargetShortestWalks:
 
     # -- enumeration ------------------------------------------------------------
 
-    def walks_to(self, target: Hashable) -> Iterator[Walk]:
-        """Enumerate distinct shortest matching walks to one target."""
+    def walks_to(
+        self,
+        target: Hashable,
+        memoryless: bool = False,
+        resume_after: Optional[Sequence[int]] = None,
+        snapshot: bool = False,
+    ) -> Iterator[Walk]:
+        """Enumerate distinct shortest matching walks to one target.
+
+        Three execution flavours over the one shared preprocessing:
+
+        * default — the eager enumerator on the shared trimmed queues
+          (one active enumeration at a time, as before);
+        * ``snapshot=True`` — the eager enumerator on a private cursor
+          :meth:`~repro.core.trim.TrimmedAnnotation.snapshot`, safe to
+          run concurrently with other enumerations;
+        * ``memoryless=True`` — ``NextOutput`` over the shared
+          read-only :attr:`resumable` structure; also concurrent-safe,
+          and ``resume_after`` (a previous output's edge sequence)
+          restarts the enumeration right after that walk in O(λ)
+          instead of re-walking the prefix of the output sequence.
+
+        ``resume_after`` requires ``memoryless=True`` (the eager
+        enumerators have no O(1) seek).
+        """
         self.preprocess()
         assert self._annotation is not None and self._trimmed is not None
+        if resume_after is not None and not memoryless:
+            raise QueryError(
+                "resume_after requires memoryless=True (the eager "
+                "enumerators cannot seek)"
+            )
         t = self.graph.resolve_vertex(target)
         lam_t, states = self._annotation.target_info(t)
         cost_arr = self.graph.cost_array if self.cheapest else None
+        cost_of = (lambda e: cost_arr[e]) if cost_arr is not None else None
+        if memoryless:
+            return enumerate_memoryless(
+                self.graph,
+                self.resumable,
+                lam_t,
+                t,
+                states,
+                cost_of=cost_of,
+                resume_after=resume_after,
+            )
+        trimmed = self._trimmed.snapshot() if snapshot else self._trimmed
         return enumerate_walks(
             self.graph,
-            self._trimmed,
+            trimmed,
             lam_t,
             t,
             states,
-            cost_of=(lambda e: cost_arr[e]) if cost_arr is not None else None,
+            cost_of=cost_of,
         )
 
     def all_walks(

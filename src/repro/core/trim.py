@@ -92,6 +92,25 @@ class TrimmedAnnotation:
             for queue in per_vertex.values()
         )
 
+    def snapshot(self) -> "TrimmedAnnotation":
+        """An independent cursor set over the *same* queue contents.
+
+        Every queue is :meth:`~repro.datastructures.RestartableQueue.fork`-ed
+        — O(1) per non-empty ``(u, p)`` pair, sharing the immutable
+        ``(e, X)`` items.  Two enumerations may then run concurrently,
+        one per snapshot, without tripping the :meth:`acquire` guard or
+        corrupting each other's cursors; this is how the batched query
+        service serves the eager modes from one cached ``Trim`` product
+        while the memoryless mode shares the read-only
+        :class:`ResumableAnnotation` directly.
+        """
+        return TrimmedAnnotation(
+            [
+                {p: queue.fork() for p, queue in per_vertex.items()}
+                for per_vertex in self.queues
+            ]
+        )
+
 
 def trim(graph: Graph, annotation: Annotation) -> TrimmedAnnotation:
     """Build the ``C`` queues from an annotation's ``B`` maps.

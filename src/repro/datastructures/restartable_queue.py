@@ -46,6 +46,21 @@ class RestartableQueue(Generic[T]):
         """Add ``item`` at the end of the queue. Amortized O(1)."""
         self._items.append(item)
 
+    def fork(self) -> "RestartableQueue[T]":
+        """A new queue *sharing* this queue's elements, cursor at 0.
+
+        O(1): only the cursor is per-fork; the element list is the same
+        object.  Intended for the read phase — once a queue has been
+        forked, neither copy may :meth:`enqueue` (an append would leak
+        into every fork mid-enumeration).
+        """
+        forked: "RestartableQueue[T]" = RestartableQueue.__new__(
+            RestartableQueue
+        )
+        forked._items = self._items
+        forked._pos = 0
+        return forked
+
     # -- the read cursor -------------------------------------------------
 
     @property

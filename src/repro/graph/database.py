@@ -49,6 +49,7 @@ O(Σ_{a ∈ labels(q)} |Out_a(v)|).
 
 from __future__ import annotations
 
+import threading
 from array import array
 from typing import Dict, Hashable, Iterator, List, Optional, Sequence, Tuple
 
@@ -90,6 +91,7 @@ class Graph:
         "_out_label_tuples",
         "_in_label_tuples",
         "_cost_cache",
+        "_lazy_lock",
     )
 
     def __init__(
@@ -152,6 +154,11 @@ class Graph:
         self._out_label_tuples: Optional[Tuple[Tuple[int, ...], ...]] = None
         self._in_label_tuples: Optional[Tuple[Tuple[int, ...], ...]] = None
         self._cost_cache: Optional[Tuple[int, ...]] = None
+        # Build-once guard: the lazy indexes are shared read-only by
+        # every query against this (immutable) graph, including the
+        # concurrent batch executor of :mod:`repro.service` — the first
+        # builder must win exactly once, not per racing thread.
+        self._lazy_lock = threading.Lock()
 
     # -- global counts ----------------------------------------------------
 
@@ -315,6 +322,20 @@ class Graph:
 
     # -- label-indexed CSR adjacency -------------------------------------------
 
+    def warm_indexes(self) -> "Graph":
+        """Force-build every lazy index now (thread-safe, idempotent).
+
+        The CSR views and label summaries are normally built on first
+        use; a serving layer calls this once at graph-registration time
+        so that no request pays the O(|D|) build inside its latency
+        budget.  Returns ``self`` for chaining.
+        """
+        self.out_csr
+        self.in_csr
+        self.out_labels_array
+        self.in_labels_array
+        return self
+
     def _build_csr(self, endpoint: Tuple[int, ...]) -> CsrIndex:
         """Counting-sort the (edge, label) incidences by (label, endpoint).
 
@@ -359,7 +380,9 @@ class Graph:
         Bucket ``a * |V| + v`` holds ``Out_a(v)`` in edge-id order.
         """
         if self._out_csr is None:
-            self._out_csr = self._build_csr(self._src)
+            with self._lazy_lock:
+                if self._out_csr is None:
+                    self._out_csr = self._build_csr(self._src)
         return self._out_csr
 
     @property
@@ -369,7 +392,9 @@ class Graph:
         Bucket ``a * |V| + v`` holds ``In_a(v)`` in edge-id order.
         """
         if self._in_csr is None:
-            self._in_csr = self._build_csr(self._tgt)
+            with self._lazy_lock:
+                if self._in_csr is None:
+                    self._in_csr = self._build_csr(self._tgt)
         return self._in_csr
 
     def out_by_label(self, v: int, a: int) -> Tuple[int, ...]:
@@ -413,14 +438,20 @@ class Graph:
     def out_labels_array(self) -> Tuple[Tuple[int, ...], ...]:
         """Vertex-id-indexed distinct out-label tuples (hot path)."""
         if self._out_label_tuples is None:
-            self._out_label_tuples = self._label_tuples(self.out_csr)
+            csr = self.out_csr  # Outside the lock: out_csr locks itself.
+            with self._lazy_lock:
+                if self._out_label_tuples is None:
+                    self._out_label_tuples = self._label_tuples(csr)
         return self._out_label_tuples
 
     @property
     def in_labels_array(self) -> Tuple[Tuple[int, ...], ...]:
         """Vertex-id-indexed distinct in-label tuples (hot path)."""
         if self._in_label_tuples is None:
-            self._in_label_tuples = self._label_tuples(self.in_csr)
+            csr = self.in_csr  # Outside the lock: in_csr locks itself.
+            with self._lazy_lock:
+                if self._in_label_tuples is None:
+                    self._in_label_tuples = self._label_tuples(csr)
         return self._in_label_tuples
 
     # -- raw arrays for hot loops ------------------------------------------------
@@ -469,7 +500,9 @@ class Graph:
         if self._costs is not None:
             return self._costs
         if self._cost_cache is None:
-            self._cost_cache = tuple([1] * self.edge_count)
+            with self._lazy_lock:
+                if self._cost_cache is None:
+                    self._cost_cache = tuple([1] * self.edge_count)
         return self._cost_cache
 
     # -- convenience ----------------------------------------------------------------

@@ -1,0 +1,89 @@
+"""``repro.service`` — a batched, caching RPQ serving layer.
+
+The paper's pipeline (compile → ``Annotate`` → ``Trim`` → ``Enumerate``,
+Figure 2) front-loads all the expensive work into per-(query, source)
+structures that are *read-only at enumeration time* — exactly the shape
+a serving layer wants.  :class:`QueryService` exploits that with two
+caches and a thread-pool batch executor.
+
+Architecture
+------------
+
+**Plan cache** (LRU, default 256 entries).  Key::
+
+    (graph_name, graph_version, construction, query_text)
+
+Value: the parsed :class:`~repro.query.rpq.RPQ` plus the
+graph-specific :class:`~repro.core.compile.CompiledQuery` — i.e. the
+regex parse, Thompson/Glushkov construction, ε-elimination, label-id
+re-keying and the dense/firing-label layouts, all paid once per
+distinct query text per graph version.
+
+**Annotation cache** (LRU, default 128 entries).  Key::
+
+    (graph_name, graph_version, construction, query_text, source_id)
+
+Value: a saturated
+:class:`~repro.core.multi_target.MultiTargetShortestWalks` — the
+``Annotate`` run to exhaustion (Section 5.3) plus its ``Trim`` product.
+Because saturation covers *every* target, one entry answers requests
+for any target from that source: λ_t and the start-state certificate
+are read off the cached annotation in O(|F|), and only the
+O(answers·λ·|A|) enumeration itself runs per request.
+
+**Invalidation.**  Graphs are immutable objects; "mutation" is
+re-registering a name via :meth:`QueryService.register_graph`, which
+bumps the graph's integer version.  Both cache keys embed the version,
+so stale entries can never be hit; they are additionally purged
+eagerly (:meth:`~repro.service.cache.LRUCache.drop_where`) so they do
+not occupy capacity until LRU eviction.
+
+**Thread-safety.**  Safe concurrent execution rests on four guards:
+
+1. the caches are lock-protected with *single-flight* misses — racing
+   threads build a given plan/annotation exactly once
+   (:meth:`~repro.service.cache.LRUCache.get_or_create`);
+2. the graph's lazy CSR indexes have a build-once lock
+   (:meth:`~repro.graph.database.Graph.warm_indexes` double-checks
+   under ``Graph._lazy_lock``), so concurrent first use is safe —
+   and registration pre-warms them off the request path;
+3. the **memoryless** mode (the service default) enumerates over the
+   read-only :class:`~repro.core.trim.ResumableAnnotation`, which is
+   never mutated — any number of requests share one cached instance;
+4. the **eager** modes (``iterative``/``recursive``) get a private
+   cursor :meth:`~repro.core.trim.TrimmedAnnotation.snapshot` (O(1)
+   per non-empty queue, items shared), so they never contend on the
+   shared trimmed annotation's cursors.
+
+**Pagination.**  ``limit``/``offset`` plus a resume ``cursor`` (the
+previous page's ``next_cursor`` — the last walk's edge ids).  In
+memoryless mode the cursor seeks in O(λ) via the paper's ``NextOutput``
+(Theorem 18: the next output is computed from the previous output
+alone); the eager modes replay the prefix.  Output order is identical
+across the general modes, so cursors are mode-portable.
+
+**Budgets.**  ``timeout_ms`` is checked between outputs; by Theorem 2
+the overshoot past the deadline is one delay, O(λ·|A|).  A timed-out
+response carries the partial page and a cursor to resume it.
+"""
+
+from repro.service.cache import CacheStats, LRUCache
+from repro.service.requests import (
+    QueryRequest,
+    QueryResponse,
+    RequestError,
+    read_requests_jsonl,
+)
+from repro.service.service import QueryService, ServiceError, ServiceStats
+
+__all__ = [
+    "CacheStats",
+    "LRUCache",
+    "QueryRequest",
+    "QueryResponse",
+    "QueryService",
+    "RequestError",
+    "ServiceError",
+    "ServiceStats",
+    "read_requests_jsonl",
+]

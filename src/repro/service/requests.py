@@ -1,0 +1,218 @@
+"""Request/response model of the batched query service.
+
+A :class:`QueryRequest` is one RPQ evaluation: *enumerate the distinct
+shortest walks matching ``query`` from ``source`` to ``target``*, plus
+serving knobs (pagination, engine mode, time budget).  Requests
+round-trip through JSON dictionaries — the on-disk batch format is
+JSONL, one request object per line::
+
+    {"query": "h* s (h | s)*", "source": "Alix", "target": "Bob"}
+    {"query": "h+", "source": "Alix", "target": "Dan", "limit": 10}
+
+A :class:`QueryResponse` carries the outcome:
+
+* ``status`` — ``"ok"`` (answers enumerated), ``"empty"`` (no matching
+  walk), ``"timeout"`` (budget exhausted; ``walks`` holds the partial
+  page and ``next_cursor`` resumes it), or ``"error"`` (bad input —
+  ``error`` holds the message, nothing was executed);
+* ``lam`` — λ, the answer length (``None`` for empty/error);
+* ``walks`` — the page of answers, in the paper's enumeration order,
+  each rendered with :meth:`repro.core.walks.Walk.to_dict`;
+* ``next_cursor`` — opaque resume token (the last walk's edge ids) to
+  pass as ``cursor`` in a follow-up request for the next page, or
+  ``None`` when the enumeration is exhausted;
+* ``cached`` — which preprocessing layers were served from cache;
+* ``timings`` — wall-clock seconds per phase for this request.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
+
+from repro.exceptions import ReproError
+
+_MODES = ("auto", "iterative", "recursive", "memoryless")
+_CONSTRUCTIONS = ("thompson", "glushkov")
+
+
+class RequestError(ReproError):
+    """A request is malformed (unknown field, bad type, bad value)."""
+
+
+@dataclass
+class QueryRequest:
+    """One RPQ evaluation request against a registered graph."""
+
+    query: str
+    source: Hashable
+    target: Hashable
+    #: Registered graph name; ``None`` selects the service's sole graph.
+    graph: Optional[str] = None
+    #: Engine mode override; ``"auto"`` lets the service pick.
+    mode: str = "auto"
+    #: Regex → NFA construction for the plan.
+    construction: str = "thompson"
+    #: Page size; ``None`` = all answers.
+    limit: Optional[int] = None
+    #: Answers to skip before the page starts (O(offset) walk work;
+    #: applied *after* ``cursor`` seeking).  If a timeout interrupts
+    #: the skip phase, the response's ``skipped`` counter says how far
+    #: it got — resume with the returned cursor and the remaining
+    #: ``offset - skipped``.
+    offset: int = 0
+    #: Resume token from a previous response's ``next_cursor`` — the
+    #: page starts right after that walk (O(λ) seek in memoryless mode).
+    cursor: Optional[Tuple[int, ...]] = None
+    #: Per-request wall-clock budget in milliseconds; ``None`` = none.
+    timeout_ms: Optional[float] = None
+    #: Client-chosen id, echoed verbatim in the response.
+    id: Optional[Any] = None
+
+    def validate(self) -> "QueryRequest":
+        if not isinstance(self.query, str) or not self.query.strip():
+            raise RequestError("'query' must be a non-empty string")
+        if self.source is None or self.target is None:
+            raise RequestError("'source' and 'target' are required")
+        if self.mode not in _MODES:
+            raise RequestError(
+                f"unknown mode {self.mode!r}; expected one of {_MODES}"
+            )
+        if self.construction not in _CONSTRUCTIONS:
+            raise RequestError(
+                f"unknown construction {self.construction!r}; "
+                f"expected one of {_CONSTRUCTIONS}"
+            )
+        if self.limit is not None and (
+            not isinstance(self.limit, int) or self.limit < 1
+        ):
+            raise RequestError("'limit' must be a positive integer")
+        if not isinstance(self.offset, int) or self.offset < 0:
+            raise RequestError("'offset' must be a non-negative integer")
+        if self.cursor is not None:
+            if not isinstance(self.cursor, (list, tuple)) or not all(
+                isinstance(e, int) and e >= 0 for e in self.cursor
+            ):
+                raise RequestError(
+                    "'cursor' must be a list of non-negative edge ids"
+                )
+            self.cursor = tuple(self.cursor)
+        if self.timeout_ms is not None and (
+            not isinstance(self.timeout_ms, (int, float))
+            or self.timeout_ms < 0
+        ):
+            raise RequestError("'timeout_ms' must be a non-negative number")
+        return self
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "QueryRequest":
+        if not isinstance(payload, dict):
+            raise RequestError(
+                f"request must be a JSON object, got {type(payload).__name__}"
+            )
+        known = {f for f in cls.__dataclass_fields__}  # noqa: C416
+        unknown = set(payload) - known
+        if unknown:
+            raise RequestError(
+                f"unknown request field(s): {', '.join(sorted(unknown))}"
+            )
+        missing = {"query", "source", "target"} - set(payload)
+        if missing:
+            raise RequestError(
+                f"missing request field(s): {', '.join(sorted(missing))}"
+            )
+        return cls(**payload).validate()
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "query": self.query,
+            "source": self.source,
+            "target": self.target,
+        }
+        if self.graph is not None:
+            out["graph"] = self.graph
+        if self.mode != "auto":
+            out["mode"] = self.mode
+        if self.construction != "thompson":
+            out["construction"] = self.construction
+        if self.limit is not None:
+            out["limit"] = self.limit
+        if self.offset:
+            out["offset"] = self.offset
+        if self.cursor is not None:
+            out["cursor"] = list(self.cursor)
+        if self.timeout_ms is not None:
+            out["timeout_ms"] = self.timeout_ms
+        if self.id is not None:
+            out["id"] = self.id
+        return out
+
+
+@dataclass
+class QueryResponse:
+    """Outcome of one :class:`QueryRequest`."""
+
+    status: str  # "ok" | "empty" | "timeout" | "error"
+    lam: Optional[int] = None
+    walks: List[Dict[str, Any]] = field(default_factory=list)
+    next_cursor: Optional[List[int]] = None
+    #: Answers consumed by the request's ``offset`` (≤ offset; smaller
+    #: only when a timeout interrupted the skip phase).
+    skipped: int = 0
+    error: Optional[str] = None
+    cached: Dict[str, bool] = field(default_factory=dict)
+    timings: Dict[str, float] = field(default_factory=dict)
+    id: Optional[Any] = None
+
+    @property
+    def ok(self) -> bool:
+        """True unless the request itself was rejected."""
+        return self.status != "error"
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "status": self.status,
+            "lam": self.lam,
+            "walks": self.walks,
+            "next_cursor": self.next_cursor,
+        }
+        if self.skipped:
+            out["skipped"] = self.skipped
+        if self.error is not None:
+            out["error"] = self.error
+        if self.cached:
+            out["cached"] = self.cached
+        if self.timings:
+            out["timings"] = {
+                k: round(v, 6) for k, v in self.timings.items()
+            }
+        if self.id is not None:
+            out["id"] = self.id
+        return out
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=False)
+
+
+def read_requests_jsonl(lines: Iterable[str]) -> Iterator[QueryRequest]:
+    """Parse a JSONL stream into requests.
+
+    Blank lines and ``#`` comment lines are skipped.  A syntactically
+    broken line raises :class:`RequestError` naming the line number —
+    a malformed batch file is a caller bug, not a per-request failure.
+    """
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise RequestError(
+                f"line {lineno}: invalid JSON ({exc.msg})"
+            ) from None
+        try:
+            yield QueryRequest.from_dict(payload)
+        except RequestError as exc:
+            raise RequestError(f"line {lineno}: {exc}") from None

@@ -158,6 +158,27 @@ class TestLifecycle:
         with pytest.raises(QueryError):
             _ = engine.annotation
 
+    def test_fast_path_with_integer_vertex_names(self):
+        """resolve_vertex prefers names over ids, so the fast path must
+        receive the caller's original designators — handing it the
+        already-resolved ids would swap vertices on a graph whose
+        vertex *names* are integers (regression)."""
+        from repro.automata import regex_to_nfa
+        from repro.graph.builder import GraphBuilder
+
+        builder = GraphBuilder()
+        builder.add_vertex(1)
+        builder.add_vertex(0)
+        builder.add_edge(1, 0, ["a"])
+        graph = builder.build()
+        nfa = regex_to_nfa("a", method="glushkov")
+        auto = DistinctShortestWalks(graph, nfa, 1, 0, mode="auto")
+        assert auto.uses_fast_path
+        assert auto.lam == 1
+        assert [w.edges for w in auto.enumerate()] == [(0,)]
+        general = DistinctShortestWalks(graph, nfa, 1, 0, mode="iterative")
+        assert general.lam == 1
+
 
 class TestFunctionalFacade:
     def test_distinct_shortest_walks(self, graph):

@@ -1,0 +1,179 @@
+"""Randomized differential testing: four engine modes vs the oracle.
+
+Each case draws a random (graph, regex, source, target) instance from a
+*seeded* PRNG — no hypothesis shrinking, no example database: the same
+seed always produces the same instance, which is what lets CI run a
+fixed seed matrix (see ``.github/workflows/ci.yml``) and lets a failure
+be replayed locally with::
+
+    DIFF_SEED_BASE=<base> PYTHONPATH=src python -m pytest \
+        "tests/property/test_differential.py::test_modes_agree[<case>]"
+
+Per case, every engine mode (``iterative``, ``recursive``,
+``memoryless``, ``auto``) is checked against the brute-force oracle
+(:mod:`repro.baselines.oracle` — machinery disjoint from the core
+algorithm) for
+
+* **distinctness** — no walk is emitted twice;
+* **shortestness** — every output has length λ (= the oracle's λ);
+* **completeness** — the output *set* is exactly the oracle's answer
+  set;
+
+and the modes are checked against *each other* on output order:
+``iterative``, ``recursive`` and ``memoryless`` are guaranteed by the
+paper to produce the same DFS order (children by increasing
+``TgtIdx``), and ``auto`` joins them whenever it dispatches to the
+general engine (the simple-setting fast path may reorder).
+
+The number of cases and the seed base are environment knobs
+(``DIFF_CASES``, default 200; ``DIFF_SEED_BASE``, default 0) so the CI
+matrix can cover disjoint seed ranges without code changes.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from typing import List, Tuple
+
+import pytest
+
+from repro.baselines.oracle import oracle_answer_set, oracle_lam
+from repro.core.engine import DistinctShortestWalks
+from repro.graph.builder import GraphBuilder
+from repro.graph.database import Graph
+from repro.query import rpq
+
+_ALPHABET = ("a", "b", "c")
+_MODES = ("iterative", "recursive", "memoryless", "auto")
+
+SEED_BASE = int(os.environ.get("DIFF_SEED_BASE", "0"))
+N_CASES = int(os.environ.get("DIFF_CASES", "200"))
+
+#: Instances whose λ exceeds this are skipped: the oracle's exhaustive
+#: length-λ DFS is exponential in λ.  Random 6-vertex graphs rarely
+#: have deep shortest walks, so the skip budget stays tiny (asserted
+#: by :func:`test_skip_budget_not_exhausted`).
+_MAX_ORACLE_LAM = 10
+_ORACLE_WALK_BUDGET = 60_000
+
+_skips: List[int] = []
+_runs: List[int] = []
+
+
+def _random_graph(rng: random.Random) -> Graph:
+    n = rng.randint(1, 6)
+    m = rng.randint(0, 12)
+    builder = GraphBuilder()
+    builder.add_vertices([f"v{i}" for i in range(n)])
+    for _ in range(m):
+        src = rng.randrange(n)
+        tgt = rng.randrange(n)
+        labels = rng.sample(_ALPHABET, rng.randint(1, len(_ALPHABET)))
+        builder.add_edge(f"v{src}", f"v{tgt}", sorted(labels))
+    return builder.build()
+
+
+def _random_regex(rng: random.Random, depth: int = 3) -> str:
+    if depth == 0:
+        return rng.choice(_ALPHABET)
+    roll = rng.random()
+    if roll < 0.25:
+        return rng.choice(_ALPHABET)
+    if roll < 0.45:
+        return f"({_random_regex(rng, depth - 1)} {_random_regex(rng, depth - 1)})"
+    if roll < 0.65:
+        return f"({_random_regex(rng, depth - 1)} | {_random_regex(rng, depth - 1)})"
+    if roll < 0.80:
+        return f"({_random_regex(rng, depth - 1)})*"
+    if roll < 0.90:
+        return f"({_random_regex(rng, depth - 1)})+"
+    return f"({_random_regex(rng, depth - 1)})?"
+
+
+def _draw_case(seed: int):
+    rng = random.Random(seed)
+    graph = _random_graph(rng)
+    expression = _random_regex(rng)
+    source = rng.randrange(graph.vertex_count)
+    target = rng.randrange(graph.vertex_count)
+    return graph, expression, source, target
+
+
+@pytest.mark.parametrize("case", range(N_CASES))
+def test_modes_agree(case: int) -> None:
+    seed = SEED_BASE + case
+    graph, expression, source, target = _draw_case(seed)
+    nfa = rpq(expression).automaton
+    context = (
+        f"seed={seed} |V|={graph.vertex_count} |E|={graph.edge_count} "
+        f"regex={expression!r} s={source} t={target}"
+    )
+
+    lam = oracle_lam(graph, nfa, source, target)
+    if lam is not None and lam > _MAX_ORACLE_LAM:
+        _skips.append(seed)
+        pytest.skip(f"λ={lam} beyond the oracle budget ({context})")
+    try:
+        expected = oracle_answer_set(
+            graph, nfa, source, target, max_walks=_ORACLE_WALK_BUDGET
+        )
+    except RuntimeError:
+        _skips.append(seed)
+        pytest.skip(f"oracle walk budget exhausted ({context})")
+    _runs.append(seed)
+
+    outputs = {}
+    for mode in _MODES:
+        engine = DistinctShortestWalks(graph, nfa, source, target, mode=mode)
+        walks = list(engine.enumerate())
+        edges: List[Tuple[int, ...]] = [w.edges for w in walks]
+
+        # λ agreement with the oracle.
+        assert engine.lam == lam, f"{mode} λ mismatch ({context})"
+        # Distinctness: each answer exactly once.
+        assert len(set(edges)) == len(edges), (
+            f"{mode} emitted duplicates ({context})"
+        )
+        # Shortestness: every output has length λ.
+        assert all(len(e) == (lam or 0) for e in edges), (
+            f"{mode} emitted a non-shortest walk ({context})"
+        )
+        # Completeness + soundness: exact answer-set equality.
+        assert sorted(edges) == expected, (
+            f"{mode} answer set differs from the oracle ({context})"
+        )
+        # Walk endpoints are the queried pair.
+        for walk in walks:
+            assert walk.src == source and walk.tgt == target, (
+                f"{mode} walk has wrong endpoints ({context})"
+            )
+        outputs[mode] = edges
+
+    # Output-order agreement where the paper guarantees it: the three
+    # general modes share the DFS order…
+    assert outputs["iterative"] == outputs["recursive"], context
+    assert outputs["iterative"] == outputs["memoryless"], context
+    # …and "auto" joins them unless the fast path (different traversal
+    # order, same set — already checked above) was selected.
+    auto_engine = DistinctShortestWalks(
+        graph, nfa, source, target, mode="auto"
+    )
+    if not auto_engine.uses_fast_path:
+        assert outputs["auto"] == outputs["iterative"], context
+
+
+def test_skip_budget_not_exhausted() -> None:
+    """The harness must actually exercise (almost) all of its cases.
+
+    Runs after the parametrized cases (pytest keeps file order); if
+    some future change to the generators made most instances skip, the
+    differential coverage would silently evaporate — fail instead.
+    """
+    total = len(_runs) + len(_skips)
+    if total == 0:
+        pytest.skip("differential cases did not run (filtered out?)")
+    assert len(_runs) >= 0.9 * total, (
+        f"only {len(_runs)}/{total} differential cases ran; "
+        f"skipped seeds: {_skips[:10]}"
+    )

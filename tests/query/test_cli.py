@@ -189,6 +189,118 @@ class TestCountCommand:
         assert code == 2
 
 
+class TestBatchCommand:
+    @pytest.fixture
+    def requests_file(self, tmp_path):
+        path = tmp_path / "requests.jsonl"
+        path.write_text(
+            '{"query": "h* s (h | s)*", "source": "Alix", "target": "Bob",'
+            ' "id": 1}\n'
+            "# comments and blank lines are ignored\n"
+            "\n"
+            '{"query": "h* s (h | s)*", "source": "Alix", "target": "Eve",'
+            ' "limit": 1, "id": 2}\n'
+            '{"query": "h", "source": "Bob", "target": "Alix", "id": 3}\n'
+        )
+        return str(path)
+
+    def test_round_trip(self, graph_file, requests_file, capsys):
+        code = main(["batch", graph_file, requests_file])
+        out = capsys.readouterr().out
+        assert code == 0
+        responses = [json.loads(line) for line in out.splitlines()]
+        assert [r["id"] for r in responses] == [1, 2, 3]
+        assert responses[0]["status"] == "ok"
+        assert responses[0]["lam"] == 3
+        assert len(responses[0]["walks"]) == 4
+        assert responses[0]["walks"][0]["vertices"][0] == "Alix"
+        # Paged request: one walk plus a resume cursor.
+        assert len(responses[1]["walks"]) == 1
+        assert responses[1]["next_cursor"] is not None
+        # No matching walk is not an error.
+        assert responses[2]["status"] == "empty"
+        assert responses[2]["walks"] == []
+
+    def test_cursor_resume_round_trip(self, graph_file, tmp_path, capsys):
+        first = tmp_path / "page1.jsonl"
+        first.write_text(
+            '{"query": "h* s (h | s)*", "source": "Alix", "target": "Bob",'
+            ' "limit": 2}\n'
+        )
+        code = main(["batch", graph_file, str(first)])
+        assert code == 0
+        page1 = json.loads(capsys.readouterr().out.splitlines()[0])
+        second = tmp_path / "page2.jsonl"
+        second.write_text(
+            json.dumps(
+                {
+                    "query": "h* s (h | s)*",
+                    "source": "Alix",
+                    "target": "Bob",
+                    "cursor": page1["next_cursor"],
+                }
+            )
+            + "\n"
+        )
+        code = main(["batch", graph_file, str(second)])
+        assert code == 0
+        page2 = json.loads(capsys.readouterr().out.splitlines()[0])
+        edges = [w["edges"] for w in page1["walks"] + page2["walks"]]
+        assert len(edges) == 4 and len({tuple(e) for e in edges}) == 4
+
+    def test_request_error_exit_code(self, graph_file, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            '{"query": "h |", "source": "Alix", "target": "Bob"}\n'
+            '{"query": "h", "source": "Alix", "target": "Dan"}\n'
+        )
+        code = main(["batch", graph_file, str(path)])
+        out = capsys.readouterr().out
+        assert code == 1  # Batch ran; one request errored.
+        statuses = [json.loads(l)["status"] for l in out.splitlines()]
+        assert statuses == ["error", "ok"]
+
+    def test_malformed_jsonl_is_input_error(self, graph_file, tmp_path, capsys):
+        path = tmp_path / "broken.jsonl"
+        path.write_text('{"query": "h", "source": "Alix"\n')
+        code = main(["batch", graph_file, str(path)])
+        assert code == 2
+        assert "line 1" in capsys.readouterr().err
+
+    def test_missing_requests_file(self, graph_file, capsys):
+        code = main(["batch", graph_file, "/nonexistent/requests.jsonl"])
+        assert code == 2
+
+    def test_stats_flag(self, graph_file, requests_file, capsys):
+        code = main(["batch", graph_file, requests_file, "--stats"])
+        captured = capsys.readouterr()
+        assert code == 0
+        stats = json.loads(captured.err)
+        assert stats["requests"] == 3
+        assert stats["plan_cache"]["hits"] >= 1
+
+    def test_workers_and_mode_flags(self, graph_file, requests_file, capsys):
+        for extra in (["--workers", "1"], ["--mode", "iterative"]):
+            code = main(["batch", graph_file, requests_file] + extra)
+            out = capsys.readouterr().out
+            assert code == 0
+            first = json.loads(out.splitlines()[0])
+            assert first["status"] == "ok" and len(first["walks"]) == 4
+
+    def test_cold_cache_flags(self, graph_file, requests_file, capsys):
+        code = main(
+            ["batch", graph_file, requests_file,
+             "--plan-cache", "0", "--annotation-cache", "0", "--stats"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        stats = json.loads(captured.err)
+        assert stats["plan_cache"]["hits"] == 0
+        assert stats["annotation_cache"]["hits"] == 0
+        first = json.loads(captured.out.splitlines()[0])
+        assert first["status"] == "ok" and len(first["walks"]) == 4
+
+
 class TestJsonOutput:
     def test_query_json(self, graph_file, capsys):
         code = main(

@@ -1,0 +1,173 @@
+"""Unit tests for the service LRU cache (thread-safety included)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.service.cache import LRUCache
+
+
+class TestBasics:
+    def test_get_miss_then_put_then_hit(self):
+        cache = LRUCache(2)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.stats.misses == 1 and cache.stats.hits == 1
+
+    def test_lru_eviction_order(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # Freshen "a": "b" becomes the LRU entry.
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1 and cache.get("c") == 3
+        assert cache.stats.evictions == 1
+
+    def test_put_refreshes_existing_key(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # Refresh, not insert: no eviction.
+        cache.put("c", 3)
+        assert cache.get("a") == 10
+        assert cache.get("b") is None
+
+    def test_capacity_zero_disables_storage(self):
+        cache = LRUCache(0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        calls = []
+        assert cache.get_or_create("a", lambda: calls.append(1) or 7) == 7
+        assert cache.get_or_create("a", lambda: calls.append(1) or 8) == 8
+        assert len(calls) == 2 and len(cache) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LRUCache(-1)
+
+    def test_get_or_create_caches_and_counts(self):
+        cache = LRUCache(4)
+        calls = []
+        for _ in range(3):
+            value = cache.get_or_create("k", lambda: calls.append(1) or 42)
+            assert value == 42
+        assert len(calls) == 1
+        assert cache.stats.misses == 1 and cache.stats.hits == 2
+        assert cache.stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_factory_exception_propagates_and_caches_nothing(self):
+        cache = LRUCache(4)
+
+        def boom():
+            raise RuntimeError("nope")
+
+        with pytest.raises(RuntimeError):
+            cache.get_or_create("k", boom)
+        assert len(cache) == 0
+        # The key is usable again after the failed build.
+        assert cache.get_or_create("k", lambda: 1) == 1
+
+    def test_drop_where(self):
+        cache = LRUCache(8)
+        cache.put(("g1", 1), "a")
+        cache.put(("g1", 2), "b")
+        cache.put(("g2", 1), "c")
+        dropped = cache.drop_where(lambda k: k[0] == "g1")
+        assert dropped == 2
+        assert cache.get(("g2", 1)) == "c"
+        assert cache.get(("g1", 1)) is None
+
+    def test_clear(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        cache.clear()
+        assert len(cache) == 0 and cache.get("a") is None
+
+
+class TestSingleFlight:
+    def test_concurrent_misses_build_once(self):
+        cache = LRUCache(4)
+        builds = []
+        gate = threading.Event()
+
+        def factory():
+            gate.wait(timeout=5)
+            builds.append(threading.get_ident())
+            time.sleep(0.01)
+            return "value"
+
+        results = []
+        threads = [
+            threading.Thread(
+                target=lambda: results.append(
+                    cache.get_or_create("k", factory)
+                )
+            )
+            for _ in range(8)
+        ]
+        for t in threads:
+            t.start()
+        time.sleep(0.05)  # Let every thread reach the wait/miss point.
+        gate.set()
+        for t in threads:
+            t.join(timeout=5)
+        assert results == ["value"] * 8
+        assert len(builds) == 1
+        # One logical build: one miss, zero hits for the followers.
+        assert cache.stats.misses == 1
+
+    def test_concurrent_failure_propagates_to_all_waiters(self):
+        cache = LRUCache(4)
+        gate = threading.Event()
+        errors = []
+
+        def factory():
+            gate.wait(timeout=5)
+            raise ValueError("build failed")
+
+        def worker():
+            try:
+                cache.get_or_create("k", factory)
+            except ValueError as exc:
+                errors.append(str(exc))
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        time.sleep(0.05)
+        gate.set()
+        for t in threads:
+            t.join(timeout=5)
+        assert errors == ["build failed"] * 4
+        assert len(cache) == 0
+
+    def test_distinct_keys_build_concurrently(self):
+        cache = LRUCache(8)
+        started = threading.Barrier(2, timeout=5)
+
+        def factory(v):
+            def build():
+                # Both factories must be in flight at once to pass the
+                # barrier — proves key builds do not serialize globally.
+                started.wait()
+                return v
+
+            return build
+
+        results = {}
+        threads = [
+            threading.Thread(
+                target=lambda k=k: results.__setitem__(
+                    k, cache.get_or_create(k, factory(k))
+                )
+            )
+            for k in ("a", "b")
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=5)
+        assert results == {"a": "a", "b": "b"}
