@@ -23,7 +23,7 @@ from repro.bench import measure_delays
 from repro.core.compile import compile_query
 from repro.core.engine import DistinctShortestWalks
 from repro.core.simple import SimpleShortestWalks
-from repro.graph.generators import chain, grid
+from repro.graph.generators import grid
 from repro.workloads.worstcase import diamond_chain, duplicate_bomb
 
 from repro.automata.nfa import NFA

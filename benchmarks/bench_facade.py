@@ -1,0 +1,123 @@
+"""EXP-FACADE — the fluent ``repro.api`` path: cached vs cold.
+
+The PR-3 claim: routing *interactive* queries through the
+``Database``/``Query`` façade gives them the same plan/annotation
+reuse the JSONL batch service measured, with the fluent-builder
+overhead staying in the noise.  The workload repeats a small set of
+parameterized pair and ``to_all`` queries against the transport
+network — the façade-shaped equivalent of the EXP-SERVICE mix — once
+on a warm :class:`~repro.api.Database` and once on a cold one (both
+caches at capacity 0).
+
+The cache hit rates are deterministic and always asserted; the
+wall-clock ratio is asserted only under ``BENCH_FACADE_STRICT=1``
+(shared CI runners are too noisy for hard ratio bars).
+"""
+
+from __future__ import annotations
+
+import os
+import statistics
+import time
+from typing import Dict, List
+
+from repro.api import Database
+from repro.workloads.transport import TRANSPORT_QUERIES, transport_network
+
+SPEEDUP_TARGET = 2.0
+HIT_RATE_TARGET = 0.5
+STRICT = os.environ.get("BENCH_FACADE_STRICT", "0") == "1"
+
+_QUERIES = [
+    TRANSPORT_QUERIES["ground_only"],
+    TRANSPORT_QUERIES["fly_then_ground"],
+    TRANSPORT_QUERIES["no_bus"],
+]
+
+
+def _run_workload(db: Database, repeats: int) -> List:
+    """Q queries × pairs (+ one fan-out), the whole block R times."""
+    sources = ["city0", "city1", "city2"]
+    targets = [f"city{10 * i}" for i in range(1, 5)]
+    pages = []
+    for _ in range(repeats):
+        for expression in _QUERIES:
+            for source in sources:
+                for target in targets:
+                    rs = (
+                        db.query(expression)
+                        .from_(source).to(target)
+                        .limit(20)
+                        .run()
+                    )
+                    pages.append([row.walk.edges for row in rs])
+        # One bucketed shape per block so the fan-out path is timed too.
+        fan = (
+            db.query(_QUERIES[0]).from_("city0").to_all().limit(50).run()
+        )
+        pages.append([row.walk.edges for row in fan])
+    return pages
+
+
+def _median_seconds(make_db, repeats: int, runs: int = 3):
+    times, db, pages = [], None, None
+    for _ in range(runs):
+        db = make_db()
+        t0 = time.perf_counter()
+        pages = _run_workload(db, repeats)
+        times.append(time.perf_counter() - t0)
+    return statistics.median(times), db, pages
+
+
+def test_facade_repeat_queries_hit_caches(benchmark, print_table):
+    graph = transport_network(n_cities=96, hub_fraction=0.7, seed=7)
+    graph.warm_indexes()
+    repeats = 4
+
+    cold_s, _, cold_pages = _median_seconds(
+        lambda: Database(
+            graph, plan_cache_size=0, annotation_cache_size=0, warm=False
+        ),
+        repeats,
+    )
+    warm_s, warm, warm_pages = _median_seconds(
+        lambda: Database(graph, warm=False), repeats
+    )
+
+    # Identical pages on both sides.
+    assert cold_pages == warm_pages
+
+    stats = warm.stats()
+    plan_hit_rate = stats["plan_cache"]["hit_rate"]
+    ann_hit_rate = stats["annotation_cache"]["hit_rate"]
+    speedup = cold_s / warm_s if warm_s else float("inf")
+
+    rows: List[Dict] = [
+        {
+            "path": "facade pair+to_all",
+            "queries": len(warm_pages),
+            "cold_s": round(cold_s, 4),
+            "warm_s": round(warm_s, 4),
+            "speedup": f"{speedup:.1f}x",
+            "plan_hits": f"{plan_hit_rate:.0%}",
+            "ann_hits": f"{ann_hit_rate:.0%}",
+        }
+    ]
+    print_table(
+        "EXP-FACADE: fluent Database path, cached vs cold "
+        "(median of 3)",
+        list(rows[0].keys()),
+        [list(r.values()) for r in rows],
+    )
+    benchmark.pedantic(
+        lambda: _run_workload(warm, 1), iterations=1, rounds=3
+    )
+
+    # The hit rates are a property of the workload mix — always on.
+    assert plan_hit_rate >= HIT_RATE_TARGET, plan_hit_rate
+    assert ann_hit_rate >= HIT_RATE_TARGET, ann_hit_rate
+    if STRICT:
+        assert speedup >= SPEEDUP_TARGET, (
+            f"façade cached speedup {speedup:.2f}x below "
+            f"{SPEEDUP_TARGET}x"
+        )

@@ -1,19 +1,20 @@
 #!/usr/bin/env python
-"""Quickstart: the paper's Example 9, end to end.
+"""Quickstart: the paper's Example 9, end to end — via ``repro.api``.
 
 Builds the Figure 1 database (people connected by bank transfers,
-labels ``h`` = high value and ``s`` = suspicious), runs the query
-``h* s (h | s)*`` from Alix to Bob, and prints every distinct shortest
-matching walk exactly once — including the multiplicity (number of
-accepting runs) the Section 5.3 extension provides.
+labels ``h`` = high value and ``s`` = suspicious), opens a cached
+:class:`~repro.api.Database` over it, and runs the query
+``h* s (h | s)*`` from Alix through the façade's orthogonal axes:
+the plain pair shape (with Section 5.3 multiplicities), the
+``to_all`` fan-out, and a paginated resume through a cursor.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import GraphBuilder, rpq
+from repro import Database, GraphBuilder
 
 
-def build_database():
+def build_database() -> Database:
     """Figure 1: 5 people, 8 multi-labeled transfers."""
     builder = GraphBuilder()
     builder.add_edge("Alix", "Cassie", ["h"])           # e1
@@ -24,31 +25,46 @@ def build_database():
     builder.add_edge("Cassie", "Eve", ["s"])            # e6
     builder.add_edge("Cassie", "Bob", ["h"])            # e7
     builder.add_edge("Eve", "Bob", ["h", "s"])          # e8
-    return builder.build()
+    return Database(builder.build())
 
 
 def main() -> None:
-    graph = build_database()
-    print(f"database: {graph}")
+    db = build_database()
 
     # "Sequences of transfers from Alix to Bob that contain only high
     # value or suspicious transfers, with at least one suspicious."
-    query = rpq("h* s (h | s)*")
-    print(f"query:    {query.expression}\n")
+    expression = "h* s (h | s)*"
+    print(f"query: {expression}\n")
 
-    engine = query.engine(graph, "Alix", "Bob")
-    print(f"shortest matching walk length λ = {engine.lam}")
+    pair = db.query(expression).from_("Alix").to("Bob")
+    result = pair.with_multiplicity().run()
+    print(f"shortest matching walk length λ = {result.lam}")
     print("distinct shortest walks (each exactly once):\n")
-    for walk, multiplicity in engine.enumerate_with_multiplicity():
-        print(f"  {walk.describe()}")
-        print(f"      accepting runs: {multiplicity}")
+    for row in result:
+        print(f"  {row.walk.describe()}")
+        print(f"      accepting runs: {row.multiplicity}")
 
     # The shortest Alix→Bob walk overall has length 2 — but hh does not
     # match the query, which is why λ = 3 above.
-    hops = query.lam(graph, "Alix", "Bob")
-    assert hops == 3
+    assert pair.run().lam == 3
     print("\nNote: the unconstrained shortest walk (Alix-Cassie-Bob) has")
     print("length 2 but label word 'hh', which the query rejects.")
+
+    # One preprocessing, every reachable target (and the repeat pair
+    # query above was already a cache hit — see .stats()).
+    print("\nreachable from Alix (shared preprocessing):")
+    for name, lam in db.query(expression).from_("Alix").to_all().targets():
+        print(f"  {name}: λ = {lam}")
+
+    # Pagination: a 2-walk page, then resume through the cursor.
+    page = pair.limit(2).run()
+    rows = page.all()
+    rest = pair.cursor(page.next_cursor).run().all()
+    print(f"\npaged: {len(rows)} + {len(rest)} walks "
+          f"(cursor resume, O(λ) seek)")
+
+    stats = pair.stats()
+    print(f"cache hits on this repeat: {stats['cached']}")
 
 
 if __name__ == "__main__":

@@ -10,21 +10,45 @@ Given a multi-labeled multi-edge graph database, two vertices and a
 regular path query, enumerate **all shortest matching walks, each
 exactly once**, with O(|D|×|A|) preprocessing and O(λ×|A|) delay.
 
-Quickstart::
+Quickstart — the fluent ``repro.api`` façade::
 
-    from repro import GraphBuilder, rpq
+    from repro import Database, GraphBuilder
 
     b = GraphBuilder()
     b.add_edge("Alix", "Dan", ["h", "s"])
     b.add_edge("Dan", "Bob", ["h"])
-    g = b.build()
+    db = Database(b.build())
 
-    for walk in rpq("h* s (h | s)*").shortest_walks(g, "Alix", "Bob"):
-        print(walk.describe())
+    for row in db.query("h* s (h | s)*").from_("Alix").to("Bob"):
+        print(row.walk.describe())
+
+Legacy entry points (kept as thin shims over the façade — prefer the
+builder calls on the right for new code):
+
+=====================================================  =====================================================
+ old entry point                                        façade equivalent
+=====================================================  =====================================================
+``DistinctShortestWalks(g, q, s, t).enumerate()``      ``db.query(q).from_(s).to(t).run()``
+``DistinctCheapestWalks(g, q, s, t).enumerate()``      ``db.query(q).cheapest().from_(s).to(t).run()``
+``MultiTargetShortestWalks(g, q, s).walks_to(t)``      ``db.query(q).from_(s).to_all().run()``
+``SimpleShortestWalks`` (fast path)                    ``mode("auto")`` on a cold ``Database`` (cache size 0)
+``rpq(q).shortest_walks(g, s, t)``                     ``db.query(q).from_(s).to(t).run().walks()``
+``rpq(q).shortest_walks_with_multiplicity(g, s, t)``   ``….with_multiplicity().run()``
+``rpq(q).cheapest_walks(g, s, t)``                     ``….cheapest().run()``
+``QueryService.execute(QueryRequest(q, s, t))``        ``db.query(q).from_(s).to(t).limit(n).cursor(c).run()``
+``repro query GRAPH Q S T`` (CLI)                      routes through the façade internally
+=====================================================  =====================================================
+
+The engine classes remain fully supported as the *uncached* low-level
+layer; the ``RPQ`` helpers, the batch :class:`QueryService` and the
+CLI now delegate to :mod:`repro.api`, so they share one plan cache,
+one annotation cache and one pagination/cursor model.
 
 See ``DESIGN.md`` for the architecture and ``EXPERIMENTS.md`` for the
 reproduction of the paper's claims.
 """
+
+from repro.api import Cursor, Database, Query, ResultSet, Row
 
 from repro.automata import (
     ANY,
@@ -73,6 +97,8 @@ __all__ = [
     "ANY",
     "AutomatonError",
     "CostError",
+    "Cursor",
+    "Database",
     "DistinctCheapestWalks",
     "DistinctShortestWalks",
     "EPSILON",
@@ -85,11 +111,14 @@ __all__ = [
     "PathPattern",
     "PatternSyntaxError",
     "PropertyGraph",
+    "Query",
     "QueryError",
     "QueryRequest",
     "QueryResponse",
     "QueryService",
     "RPQ",
+    "ResultSet",
+    "Row",
     "RegexSyntaxError",
     "ReproError",
     "Walk",

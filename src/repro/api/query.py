@@ -1,0 +1,336 @@
+"""The fluent, lazy :class:`Query` builder.
+
+A query is assembled from three *orthogonal* axes and only executed by
+a terminal call:
+
+* **endpoint shape** — :meth:`Query.from_` / :meth:`Query.to` (pair),
+  :meth:`Query.to_all` (one source, every reachable target),
+  :meth:`Query.from_any` (multi-source via a virtual super-source:
+  answers are the walks from *any* of the given sources that are
+  globally shortest/cheapest among them), and :meth:`Query.all_pairs`
+  (every source × every reachable target, per-pair λ);
+* **semantics** — :meth:`Query.shortest` (default, minimal edge
+  count), :meth:`Query.cheapest` (minimal total edge cost), plus the
+  :meth:`Query.with_multiplicity` modifier (annotate each row with its
+  number of accepting runs) and the :meth:`Query.count` terminal;
+* **execution** — :meth:`Query.mode` (engine override), pagination
+  (:meth:`Query.limit` / :meth:`Query.offset` / :meth:`Query.cursor`),
+  :meth:`Query.timeout_ms`, :meth:`Query.construction`.
+
+Builder methods return a *new* query (copy-on-write), so a base query
+can be forked freely::
+
+    base = db.query("h* s (h | s)*").from_("Alix")
+    pair = base.to("Bob").limit(10)
+    fan  = base.to_all()
+
+**Mode × semantics support.**  ``shortest`` supports every mode
+(``auto``, ``iterative``, ``recursive``, ``memoryless``); ``cheapest``
+supports ``auto``, ``iterative`` and ``memoryless`` — the recursive
+enumerator is length-budgeted only and rejects cost budgets.  With
+caching enabled (the default), ``auto`` resolves to the database's
+``default_mode`` (``memoryless`` — concurrency-safe, O(λ) cursor
+seek); with the annotation cache disabled, a pair-shaped ``shortest``
+query falls back to the cold single-pair engine, whose own ``auto``
+includes the paper's simple-setting fast path.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Hashable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.api.rows import Cursor, Row
+from repro.exceptions import QueryError
+
+if TYPE_CHECKING:  # pragma: no cover — import cycle guard
+    from repro.api.database import Database
+    from repro.api.result import ResultSet
+    from repro.query.plan import QueryPlan
+    from repro.query.rpq import RPQ
+
+_MODES = ("auto", "iterative", "recursive", "memoryless")
+_CONSTRUCTIONS = ("thompson", "glushkov")
+_SEMANTICS = ("shortest", "cheapest")
+
+
+class Query:
+    """A lazily executed RPQ against one :class:`~repro.api.Database`.
+
+    Do not construct directly — use
+    :meth:`repro.api.Database.query`.
+    """
+
+    def __init__(
+        self, db: "Database", expression: str, rpq: Optional["RPQ"] = None
+    ) -> None:
+        self._db = db
+        self._expression = expression
+        self._rpq = rpq
+        self._graph_name: Optional[str] = None
+        self._construction = "thompson" if rpq is None else rpq.method
+        self._source: Optional[Hashable] = None
+        self._sources: Optional[Tuple[Hashable, ...]] = None
+        self._target: Optional[Hashable] = None
+        self._to_all = False
+        self._all_pairs = False
+        self._semantics = "shortest"
+        self._multiplicity = False
+        self._mode = "auto"
+        self._limit: Optional[int] = None
+        self._offset = 0
+        self._cursor: Optional[Cursor] = None
+        self._timeout_ms: Optional[float] = None
+
+    def _clone(self) -> "Query":
+        return copy.copy(self)
+
+    # -- graph / plan axis ---------------------------------------------------
+
+    def on(self, graph_name: Optional[str]) -> "Query":
+        """Select a registered graph by name (``None`` = the sole one)."""
+        q = self._clone()
+        q._graph_name = graph_name
+        return q
+
+    def construction(self, method: str) -> "Query":
+        """Regex→NFA construction (``thompson`` or ``glushkov``)."""
+        if method not in _CONSTRUCTIONS:
+            raise QueryError(
+                f"unknown construction {method!r}; "
+                f"expected one of {_CONSTRUCTIONS}"
+            )
+        if self._rpq is not None and method != self._rpq.method:
+            raise QueryError(
+                "query was built from a compiled RPQ using "
+                f"{self._rpq.method!r}; cannot switch to {method!r}"
+            )
+        q = self._clone()
+        q._construction = method
+        return q
+
+    # -- endpoint shape axis -------------------------------------------------
+
+    def from_(self, source: Hashable) -> "Query":
+        """Single source vertex (name or id)."""
+        if self._sources is not None:
+            raise QueryError("from_() conflicts with an earlier from_any()")
+        q = self._clone()
+        q._source = source
+        return q
+
+    def from_any(self, sources: Sequence[Hashable]) -> "Query":
+        """Multi-source: a virtual super-source over ``sources``.
+
+        The answers are the matching walks that start at *any* of the
+        given sources and are shortest (cheapest) **among all of
+        them** — exactly the walks a virtual ε-super-source in front
+        of the sources would yield, computed by taking the minimum of
+        the per-source λ over the shared multi-target annotations.
+        """
+        sources = tuple(sources)
+        if not sources:
+            raise QueryError("from_any() needs at least one source")
+        if self._source is not None:
+            raise QueryError("from_any() conflicts with an earlier from_()")
+        q = self._clone()
+        q._sources = sources
+        return q
+
+    def to(self, target: Hashable) -> "Query":
+        """Single target vertex (name or id)."""
+        if self._to_all:
+            raise QueryError("to() conflicts with an earlier to_all()")
+        q = self._clone()
+        q._target = target
+        return q
+
+    def to_all(self) -> "Query":
+        """Every reachable target (ascending vertex-id order)."""
+        if self._target is not None:
+            raise QueryError("to_all() conflicts with an earlier to()")
+        q = self._clone()
+        q._to_all = True
+        return q
+
+    def all_pairs(self) -> "Query":
+        """Every source × every reachable target, per-pair λ."""
+        if (
+            self._source is not None
+            or self._sources is not None
+            or self._target is not None
+            or self._to_all
+        ):
+            raise QueryError(
+                "all_pairs() replaces from_/from_any/to/to_all; "
+                "start from a fresh query"
+            )
+        q = self._clone()
+        q._all_pairs = True
+        return q
+
+    # -- semantics axis ------------------------------------------------------
+
+    def shortest(self) -> "Query":
+        """Minimal edge count (the default)."""
+        q = self._clone()
+        q._semantics = "shortest"
+        return q
+
+    def cheapest(self) -> "Query":
+        """Minimal total edge cost (strictly positive integer costs)."""
+        q = self._clone()
+        q._semantics = "cheapest"
+        return q
+
+    def semantics(self, which: str) -> "Query":
+        if which not in _SEMANTICS:
+            raise QueryError(
+                f"unknown semantics {which!r}; expected one of {_SEMANTICS}"
+            )
+        return self.cheapest() if which == "cheapest" else self.shortest()
+
+    def with_multiplicity(self, enabled: bool = True) -> "Query":
+        """Annotate each row with its number of accepting runs (§5.3)."""
+        q = self._clone()
+        q._multiplicity = enabled
+        return q
+
+    # -- execution axis ------------------------------------------------------
+
+    def mode(self, mode: str) -> "Query":
+        """Engine override; see the module docstring for the matrix."""
+        if mode not in _MODES:
+            raise QueryError(
+                f"unknown mode {mode!r}; expected one of {_MODES}"
+            )
+        q = self._clone()
+        q._mode = mode
+        return q
+
+    def limit(self, n: Optional[int]) -> "Query":
+        """Page size; ``None`` = all answers."""
+        if n is not None and (not isinstance(n, int) or n < 1):
+            raise QueryError("limit must be a positive integer or None")
+        q = self._clone()
+        q._limit = n
+        return q
+
+    def offset(self, n: int) -> "Query":
+        """Rows to skip before the page starts (O(offset) walk work)."""
+        if not isinstance(n, int) or n < 0:
+            raise QueryError("offset must be a non-negative integer")
+        q = self._clone()
+        q._offset = n
+        return q
+
+    def cursor(
+        self, token: Union[Cursor, Dict[str, Any], Sequence[int], None]
+    ) -> "Query":
+        """Resume right after a previous page's ``next_cursor``.
+
+        Accepts the :class:`~repro.api.rows.Cursor` object, its
+        ``to_dict()`` payload, or (for pair queries) a bare edge-id
+        list — the batch service's token.  Seeking is O(λ) in
+        memoryless mode and O(position) in the eager modes.
+        """
+        q = self._clone()
+        q._cursor = (
+            None if token is None else Cursor.coerce(token).validate_edges()
+        )
+        return q
+
+    def timeout_ms(self, budget: Optional[float]) -> "Query":
+        """Wall-clock budget; on expiry the page is partial and
+        resumable via ``next_cursor``."""
+        if budget is not None and budget < 0:
+            raise QueryError("timeout_ms must be non-negative")
+        q = self._clone()
+        q._timeout_ms = budget
+        return q
+
+    # -- shape resolution ----------------------------------------------------
+
+    def _shape(self) -> Tuple:
+        """``(kind, ...)`` — validated endpoint shape."""
+        if self._all_pairs:
+            return ("all_pairs",)
+        if self._sources is not None:
+            if self._to_all:
+                return ("many_to_all", self._sources)
+            if self._target is not None:
+                return ("many_to_one", self._sources, self._target)
+            raise QueryError("from_any() needs to(...) or to_all()")
+        if self._source is not None:
+            if self._to_all:
+                return ("one_to_all", self._source)
+            if self._target is not None:
+                return ("pair", self._source, self._target)
+            raise QueryError("from_() needs to(...) or to_all()")
+        raise QueryError(
+            "query has no endpoint shape; call from_()/from_any()/"
+            "all_pairs() first"
+        )
+
+    # -- terminals -----------------------------------------------------------
+
+    def run(self) -> "ResultSet":
+        """Execute: preprocessing now, enumeration lazily."""
+        return self._db._run(self)
+
+    execute = run
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.run())
+
+    def count(self, method: str = "enumerate") -> int:
+        """Total number of answers (pagination knobs are ignored).
+
+        ``method="enumerate"`` counts by enumerating;
+        ``method="dp"`` uses the memoized backward-tree dynamic
+        program — exponentially faster on answer sets with many
+        shared suffixes.
+        """
+        return self._db._count(self, method)
+
+    def explain(self) -> "QueryPlan":
+        """The input-analysis plan, extended with façade routing."""
+        return self._db._explain(self)
+
+    def stats(self) -> Dict[str, Any]:
+        """Execute, drain, and report per-phase timings + cache hits."""
+        rs = self.run()
+        rows = sum(1 for _ in rs)
+        return {
+            "rows": rows,
+            "lam": rs.lam,
+            "timed_out": rs.timed_out,
+            "skipped": rs.skipped,
+            **rs.stats,
+        }
+
+    def targets(self) -> List[Tuple[Hashable, int]]:
+        """``(target_name, λ_t)`` per reachable target, in result
+        order — only for the ``to_all`` shapes."""
+        return self._db._targets(self)
+
+    def __repr__(self) -> str:
+        try:
+            shape: Tuple = self._shape()
+        except QueryError:
+            shape = ("unshaped",)
+        return (
+            f"Query({self._expression!r}, shape={shape!r}, "
+            f"semantics={self._semantics!r}, mode={self._mode!r})"
+        )

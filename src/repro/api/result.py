@@ -1,0 +1,136 @@
+"""Streaming :class:`ResultSet` — pagination over a row stream.
+
+The executor (:mod:`repro.api.database`) hands the result set a lazy
+``(row, cursor)`` stream whose cursor seeking has already happened at
+the bucket level; the result set applies the *page* knobs on top —
+``offset``, ``limit`` and the wall-clock deadline — with exactly the
+semantics of the batch service's paginator:
+
+* ``offset`` rows are consumed and counted in :attr:`skipped`;
+* once ``limit`` rows are out, one more row is peeked: if it exists,
+  :attr:`next_cursor` points at the last *emitted* row (resuming there
+  yields the peeked row first) and the stream closes;
+* the deadline is checked between rows — by the paper's delay bound
+  the overshoot is O(λ×|A|); on expiry :attr:`timed_out` is set and
+  :attr:`next_cursor` resumes after the last row consumed (skipped or
+  emitted), falling back to the request's own cursor when nothing was
+  consumed yet;
+* an exhausted stream leaves :attr:`next_cursor` as ``None``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.api.rows import Cursor, Row
+from repro.core.walks import Walk
+
+
+class ResultSet:
+    """A single-use, lazily evaluated stream of :class:`Row` answers.
+
+    Iterate it (or call :meth:`all`) to consume the page; the
+    pagination attributes (:attr:`next_cursor`, :attr:`skipped`,
+    :attr:`timed_out`) are finalized once iteration stops.  The
+    preprocessing phases have already run by the time the result set
+    exists, so :attr:`lam` and :attr:`stats` are valid immediately.
+    """
+
+    def __init__(
+        self,
+        rows: Iterator[Tuple[Row, Cursor]],
+        *,
+        lam: Optional[int],
+        stats: Dict[str, Any],
+        limit: Optional[int] = None,
+        offset: int = 0,
+        deadline: Optional[float] = None,
+        fallback_cursor: Optional[Cursor] = None,
+    ) -> None:
+        #: λ of the query: the answer length for a pair query, the
+        #: global minimum for ``from_any(...).to(...)``; ``None`` when
+        #: no walk matches — or for the per-bucket shapes (``to_all``,
+        #: ``all_pairs``), whose λ varies per row (see ``Row.lam``).
+        self.lam = lam
+        #: ``{"cached": {...}, "timings": {...}}`` — cache-hit flags
+        #: and wall-clock seconds per preprocessing phase; the
+        #: ``enumerate`` timing accrues as the stream is consumed.
+        self.stats = stats
+        self.next_cursor: Optional[Cursor] = None
+        self.skipped = 0
+        self.timed_out = False
+        self._gen = self._paginate(rows, limit, offset, deadline, fallback_cursor)
+
+    # -- consumption ---------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Row]:
+        return self._gen
+
+    def _paginate(
+        self,
+        rows: Iterator[Tuple[Row, Cursor]],
+        limit: Optional[int],
+        offset: int,
+        deadline: Optional[float],
+        fallback: Optional[Cursor],
+    ) -> Iterator[Row]:
+        emitted = 0
+        #: Cursor of the last row consumed (skipped or emitted) — the
+        #: anchor a resume token points at.
+        last: Optional[Cursor] = fallback
+        timings = self.stats["timings"]
+        try:
+            while True:
+                t0 = time.perf_counter()
+                try:
+                    row, cursor = next(rows)
+                except StopIteration:
+                    return
+                finally:
+                    timings["enumerate"] = (
+                        timings.get("enumerate", 0.0)
+                        + time.perf_counter()
+                        - t0
+                    )
+                if self.skipped < offset:
+                    self.skipped += 1
+                elif limit is None or emitted < limit:
+                    emitted += 1
+                    yield row
+                else:
+                    # One row past the page: the enumeration has more.
+                    self.next_cursor = last
+                    return
+                last = cursor
+                if deadline is not None and time.perf_counter() > deadline:
+                    self.timed_out = True
+                    self.next_cursor = last
+                    return
+        finally:
+            close = getattr(rows, "close", None)
+            if close is not None:
+                close()
+
+    # -- conveniences --------------------------------------------------------
+
+    def all(self) -> List[Row]:
+        """Materialize the (remaining) page."""
+        return list(self._gen)
+
+    def first(self) -> Optional[Row]:
+        """The next row, or ``None`` when the page is exhausted."""
+        return next(self._gen, None)
+
+    def walks(self) -> Iterator[Walk]:
+        """Iterate bare walks (the pre-façade result shape)."""
+        return (row.walk for row in self._gen)
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        """JSON-ready page rendering."""
+        return [row.to_dict() for row in self._gen]
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the query matched nothing at all (λ is ``None``)."""
+        return self.lam is None

@@ -25,7 +25,7 @@ from __future__ import annotations
 from typing import Iterable, Optional, Set
 
 from repro.automata.determinize import determinize
-from repro.automata.nfa import ANY, EPSILON, NFA
+from repro.automata.nfa import EPSILON, NFA
 from repro.automata.ops import product, remove_epsilon
 from repro.exceptions import AutomatonError
 

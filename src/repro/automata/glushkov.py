@@ -14,7 +14,7 @@ Implementation: classical ``nullable`` / ``first`` / ``last`` /
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Set, Tuple, Union as TUnion
+from typing import Dict, List, Set, Union as TUnion
 
 from repro.automata.nfa import ANY, NFA, _Sentinel
 from repro.automata.regex_ast import (

@@ -25,12 +25,11 @@ the automaton's own alphabet behaves identically.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.automata.determinize import determinize, is_deterministic
-from repro.automata.nfa import ANY, EPSILON, NFA
+from repro.automata.nfa import ANY, NFA
 from repro.automata.ops import reverse
-from repro.exceptions import AutomatonError
 
 #: The stand-in symbol for "any label not otherwise mentioned".
 OTHER = " other"

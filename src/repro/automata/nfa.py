@@ -178,7 +178,7 @@ class NFA:
         """Concrete labels appearing in Δ (excludes ε and the wildcard)."""
         labels: Set[str] = set()
         for d in self._delta:
-            labels.update(l for l in d if isinstance(l, str))
+            labels.update(a for a in d if isinstance(a, str))
         return labels
 
     @property

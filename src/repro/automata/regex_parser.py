@@ -24,7 +24,7 @@ positions — a query front-end's error messages are user-facing.
 
 from __future__ import annotations
 
-from typing import List, Optional as Opt, Tuple
+from typing import List, Optional as Opt
 
 from repro.automata.regex_ast import (
     AnyAtom,

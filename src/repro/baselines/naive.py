@@ -21,7 +21,6 @@ from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.core.compile import CompiledQuery
 from repro.core.walks import Walk
-from repro.graph.database import Graph
 
 
 @dataclass

@@ -35,10 +35,9 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from repro.core.cheapest import DistinctCheapestWalks
+from repro.api import Database
 from repro.core.compile import compile_query
 from repro.core.engine import DistinctShortestWalks
-from repro.core.multi_target import MultiTargetShortestWalks
 from repro.exceptions import ReproError
 from repro.graph.database import Graph
 from repro.graph.io import load_edge_list, load_json
@@ -54,26 +53,37 @@ def _load_graph(path: str) -> Graph:
     return load_edge_list(file_path)
 
 
+def _base_query(args: argparse.Namespace, db: Database):
+    """The façade query shared by every ``query`` subcommand path."""
+    query = (
+        db.query(args.expression)
+        .construction(args.construction)
+        .mode(args.mode)
+    )
+    if args.cheapest:
+        query = query.cheapest()
+    return query
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
-    graph = _load_graph(args.graph)
-    query = rpq(args.expression, method=args.construction)
+    db = Database(_load_graph(args.graph))
+    base = _base_query(args, db)
 
     if args.json:
-        return _query_json(args, graph, query)
+        return _query_json(args, db, base)
 
     if args.all_targets:
-        multi = MultiTargetShortestWalks(
-            graph, query.automaton, args.source, cheapest=args.cheapest
-        )
-        reached = multi.reached_targets()
+        # One preprocessing for every target: targets() and the pair
+        # queries below all share the cached saturated annotation.
+        reached = base.from_(args.source).to_all().targets()
         if not reached:
             print("no matching walk to any target")
             return 1
-        for target in reached:
-            name = graph.vertex_name(target)
-            print(f"=== {name} (λ = {multi.lam_for(target)}) ===")
-            for walk in _limited(multi.walks_to(target), args.limit):
-                print(f"  {walk.describe()}")
+        for name, lam in reached:
+            print(f"=== {name} (λ = {lam}) ===")
+            rows = base.from_(args.source).to(name).run()
+            for row in _limited(rows, args.limit):
+                print(f"  {row.describe()}")
         return 0
 
     if args.target is None:
@@ -81,65 +91,53 @@ def _cmd_query(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
 
+    pair = base.from_(args.source).to(args.target)
     if args.cheapest:
-        engine = DistinctCheapestWalks(
-            graph, query.automaton, args.source, args.target
-        )
-        cost = engine.cheapest_cost
-        if cost is None:
+        result = pair.run()
+        if result.lam is None:
             print("no matching walk")
             return 1
-        print(f"cheapest matching cost: {cost}")
-        walks = engine.enumerate()
-        for walk in _limited(walks, args.limit):
-            print(f"  {walk.describe()}")
+        print(f"cheapest matching cost: {result.lam}")
+        for row in _limited(result, args.limit):
+            print(f"  {row.describe()}")
         return 0
 
-    engine = DistinctShortestWalks(
-        graph, query.automaton, args.source, args.target, mode=args.mode
-    )
-    if engine.is_empty:
+    result = pair.with_multiplicity(args.multiplicity).run()
+    if result.lam is None:
         print("no matching walk")
         return 1
-    print(f"λ = {engine.lam}")
+    print(f"λ = {result.lam}")
     if args.multiplicity:
-        for walk, runs in _limited(
-            engine.enumerate_with_multiplicity(), args.limit
-        ):
-            print(f"  [{runs} runs] {walk.describe()}")
+        for row in _limited(result, args.limit):
+            print(f"  [{row.multiplicity} runs] {row.describe()}")
     else:
-        for walk in _limited(engine.enumerate(), args.limit):
-            print(f"  {walk.describe()}")
+        for row in _limited(result, args.limit):
+            print(f"  {row.describe()}")
     if args.count:
-        print(f"total answers: {engine.count()}")
+        print(f"total answers: {pair.count()}")
     return 0
 
 
-def _query_json(args: argparse.Namespace, graph: Graph, query) -> int:
+def _query_json(args: argparse.Namespace, db: Database, base) -> int:
     """Machine-readable variant of the query command."""
     import json
 
-    def take(walks):
-        result = []
-        for i, walk in enumerate(walks):
-            if args.limit is not None and i >= args.limit:
-                break
-            result.append(walk.to_dict())
-        return result
+    def take(query):
+        if args.limit is not None:
+            query = query.limit(args.limit)
+        return [row.walk.to_dict() for row in query.run()]
 
     if args.all_targets:
-        multi = MultiTargetShortestWalks(
-            graph, query.automaton, args.source, cheapest=args.cheapest
-        )
+        fan = base.from_(args.source).to_all()
         payload = {
             "query": args.expression,
             "source": args.source,
             "targets": {
-                str(graph.vertex_name(t)): {
-                    "lam": multi.lam_for(t),
-                    "walks": take(multi.walks_to(t)),
+                str(name): {
+                    "lam": lam,
+                    "walks": take(base.from_(args.source).to(name)),
                 }
-                for t in multi.reached_targets()
+                for name, lam in fan.targets()
             },
         }
         print(json.dumps(payload, indent=2))
@@ -150,27 +148,19 @@ def _query_json(args: argparse.Namespace, graph: Graph, query) -> int:
               file=sys.stderr)
         return 2
 
-    if args.cheapest:
-        engine = DistinctCheapestWalks(
-            graph, query.automaton, args.source, args.target
-        )
-        lam = engine.cheapest_cost
-        walks = take(engine.enumerate()) if lam is not None else []
-    else:
-        engine = DistinctShortestWalks(
-            graph, query.automaton, args.source, args.target, mode=args.mode
-        )
-        lam = engine.lam
-        walks = take(engine.enumerate()) if lam is not None else []
+    pair = base.from_(args.source).to(args.target)
+    if args.limit is not None:
+        pair = pair.limit(args.limit)
+    result = pair.run()
     payload = {
         "query": args.expression,
         "source": args.source,
         "target": args.target,
-        "lam": lam,
-        "walks": walks,
+        "lam": result.lam,
+        "walks": [row.walk.to_dict() for row in result],
     }
     print(json.dumps(payload, indent=2))
-    return 0 if lam is not None else 1
+    return 0 if result.lam is not None else 1
 
 
 def _cmd_pattern(args: argparse.Namespace) -> int:

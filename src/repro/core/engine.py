@@ -22,11 +22,9 @@ construction, preserving Corollary 20's bounds).
 from __future__ import annotations
 
 import time
-from typing import Dict, Hashable, Iterator, List, Optional, Tuple, Union
+from typing import Dict, Hashable, Iterator, List, Optional, Tuple
 
-from repro.automata.nfa import NFA
 from repro.automata.ops import remove_epsilon
-from repro.automata.regex_ast import RegexNode
 from repro.core._query_input import QueryLike, as_nfa
 from repro.core.annotate import Annotation, annotate
 from repro.core.compile import CompiledQuery, compile_query

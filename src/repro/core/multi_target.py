@@ -21,7 +21,6 @@ from __future__ import annotations
 import threading
 from typing import Hashable, Iterator, List, Optional, Sequence, Tuple
 
-from repro.automata.nfa import NFA
 from repro.core.annotate import Annotation, annotate, annotate_reference
 from repro.core.cheapest import cheapest_annotate, cheapest_annotate_reference
 from repro.core.compile import CompiledQuery, compile_query

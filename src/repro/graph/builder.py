@@ -84,7 +84,7 @@ class GraphBuilder:
         Distinct Cheapest Walks extension requires exact arithmetic and
         strictly positive costs (Section 5.3).
         """
-        label_ids = tuple(sorted({self._label_id(l) for l in labels}))
+        label_ids = tuple(sorted({self._label_id(name) for name in labels}))
         if not label_ids:
             raise GraphError("an edge must carry at least one label")
         if cost is not None:

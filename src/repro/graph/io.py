@@ -111,7 +111,7 @@ def load_edge_list(path: _PathLike) -> Graph:
         match = _EDGE_RE.match(line)
         if match is None:
             raise GraphError(f"cannot parse edge on line {lineno}: {raw!r}")
-        labels = [l.strip() for l in match["labels"].split(",") if l.strip()]
+        labels = [part.strip() for part in match["labels"].split(",") if part.strip()]
         cost = int(match["cost"]) if match["cost"] else None
         builder.add_edge(
             match["src"].strip(), match["tgt"].strip(), labels, cost=cost

@@ -40,7 +40,7 @@ exactly once — precisely the paper's Distinct Shortest Walks problem.
 
 from __future__ import annotations
 
-from typing import Hashable, Iterator, List, Optional, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 from repro.core.engine import DistinctShortestWalks
 from repro.core.walks import Walk

@@ -6,21 +6,42 @@
 >>> walks = list(query.shortest_walks(example9_graph(), "Alix", "Bob"))
 >>> len(walks)
 4
+
+Since the ``repro.api`` façade landed, every execution method here is
+a thin shim over :class:`repro.api.Database` — repeat calls on the
+same graph object share the per-graph plan/annotation caches
+(:meth:`repro.api.Database.for_graph`), and the historical mode
+quirks are gone: every enumeration method accepts ``mode`` and
+defaults to ``"auto"``.
+
+**Mode × semantics.**  ``shortest`` (and its multiplicity variant)
+supports ``auto`` / ``iterative`` / ``recursive`` / ``memoryless``;
+``cheapest`` supports ``auto`` / ``iterative`` / ``memoryless`` (the
+recursive enumerator is length-budgeted only).  ``"auto"`` resolves
+to the façade's cached memoryless execution.
+
+Prefer the façade directly for anything beyond a one-shot call::
+
+    from repro.api import Database
+    db = Database(graph)
+    db.query("h* s (h | s)*").from_("Alix").to("Bob").limit(10).run()
 """
 
 from __future__ import annotations
 
-from typing import Hashable, Iterator, List, Optional, Tuple
+from typing import TYPE_CHECKING, Hashable, Iterator, List, Optional, Tuple
 
 from repro.automata import parse_rpq, regex_to_nfa
 from repro.automata.nfa import NFA
 from repro.automata.regex_ast import RegexNode, ast_size
-from repro.core.cheapest import DistinctCheapestWalks
 from repro.core.engine import DistinctShortestWalks
-from repro.core.multi_target import MultiTargetShortestWalks
 from repro.core.walks import Walk
 from repro.graph.database import Graph
 from repro.query.plan import QueryPlan, analyze
+
+if TYPE_CHECKING:  # pragma: no cover — import cycle guard
+    from repro.api.query import Query
+    from repro.core.multi_target import MultiTargetShortestWalks
 
 
 class RPQ:
@@ -45,6 +66,14 @@ class RPQ:
 
     # -- execution ----------------------------------------------------------
 
+    def query(self, graph: Graph) -> "Query":
+        """A façade query-builder for this RPQ on ``graph``'s shared
+        :class:`~repro.api.Database` — the full fluent API (endpoint
+        shapes, pagination, ``explain``/``stats``)."""
+        from repro.api.database import Database
+
+        return Database.for_graph(graph).query(self)
+
     def engine(
         self,
         graph: Graph,
@@ -52,7 +81,8 @@ class RPQ:
         target: Hashable,
         mode: str = "auto",
     ) -> DistinctShortestWalks:
-        """A reusable engine for this query on a specific instance."""
+        """A raw single-pair engine — the uncached low-level escape
+        hatch (no plan/annotation reuse; prefer :meth:`query`)."""
         return DistinctShortestWalks(
             graph, self.automaton, source, target, mode=mode
         )
@@ -65,29 +95,61 @@ class RPQ:
         mode: str = "auto",
     ) -> Iterator[Walk]:
         """Enumerate distinct shortest matching walks."""
-        return self.engine(graph, source, target, mode=mode).enumerate()
+        return (
+            self.query(graph).from_(source).to(target).mode(mode)
+            .run().walks()
+        )
 
     def shortest_walks_with_multiplicity(
-        self, graph: Graph, source: Hashable, target: Hashable
+        self,
+        graph: Graph,
+        source: Hashable,
+        target: Hashable,
+        mode: str = "auto",
     ) -> Iterator[Tuple[Walk, int]]:
-        """Enumerate ``(walk, number of accepting runs)`` pairs."""
-        return self.engine(
-            graph, source, target, mode="iterative"
-        ).enumerate_with_multiplicity()
+        """Enumerate ``(walk, number of accepting runs)`` pairs.
+
+        Historically hard-coded ``mode="iterative"``; now any engine
+        mode works (the runs are recomputed per output either way).
+        """
+        rows = (
+            self.query(graph).from_(source).to(target).mode(mode)
+            .with_multiplicity().run()
+        )
+        return ((row.walk, row.multiplicity) for row in rows)
 
     def cheapest_walks(
-        self, graph: Graph, source: Hashable, target: Hashable
+        self,
+        graph: Graph,
+        source: Hashable,
+        target: Hashable,
+        mode: str = "auto",
     ) -> Iterator[Walk]:
-        """Enumerate distinct cheapest matching walks (edge costs)."""
-        return DistinctCheapestWalks(
-            graph, self.automaton, source, target
-        ).enumerate()
+        """Enumerate distinct cheapest matching walks (edge costs).
+
+        Historically accepted no ``mode``; now ``auto`` /
+        ``iterative`` / ``memoryless`` (``recursive`` is rejected —
+        the recursive enumerator cannot track cost budgets).
+        """
+        return (
+            self.query(graph).cheapest().from_(source).to(target)
+            .mode(mode).run().walks()
+        )
 
     def to_all_targets(
         self, graph: Graph, source: Hashable
-    ) -> MultiTargetShortestWalks:
-        """Shared-preprocessing enumeration towards every target."""
-        return MultiTargetShortestWalks(graph, self.automaton, source)
+    ) -> "MultiTargetShortestWalks":
+        """Shared-preprocessing enumeration towards every target.
+
+        Each call returns an *independent*
+        :class:`~repro.core.multi_target.MultiTargetShortestWalks`
+        (built over the graph's cached compiled plan), so callers may
+        interleave its eager enumerations freely.  For result sharing
+        across calls, use the façade's ``to_all`` shape instead.
+        """
+        from repro.api.database import Database
+
+        return Database.for_graph(graph).multi_target(self, source)
 
     def plan(self, graph: Graph) -> QueryPlan:
         """Input analysis for this query against ``graph``."""
@@ -99,19 +161,22 @@ class RPQ:
         self, graph: Graph, source: Hashable, target: Hashable
     ) -> Optional[int]:
         """λ for this query on an instance (``None`` when unmatched)."""
-        return self.engine(graph, source, target).lam
+        return self.query(graph).from_(source).to(target).run().lam
 
     def count(
         self, graph: Graph, source: Hashable, target: Hashable
     ) -> int:
         """Number of distinct shortest matching walks."""
-        return self.engine(graph, source, target).count()
+        return self.query(graph).from_(source).to(target).count()
 
     def first(
         self, graph: Graph, source: Hashable, target: Hashable, k: int
     ) -> List[Walk]:
-        """First ``k`` answers in enumeration order."""
-        return self.engine(graph, source, target).first(k)
+        """The first ``k`` answers in enumeration order."""
+        rows = (
+            self.query(graph).from_(source).to(target).limit(k).run()
+        )
+        return [row.walk for row in rows]
 
     def __repr__(self) -> str:
         return f"RPQ({self.expression!r}, method={self.method!r})"

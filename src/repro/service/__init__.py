@@ -65,6 +65,14 @@ across the general modes, so cursors are mode-portable.
 **Budgets.**  ``timeout_ms`` is checked between outputs; by Theorem 2
 the overshoot past the deadline is one delay, O(λ·|A|).  A timed-out
 response carries the partial page and a cursor to resume it.
+
+**Where the machinery lives.**  Since the ``repro.api`` façade
+landed, the registry, both caches and the execution path described
+above are implemented in :class:`repro.api.Database` and shared with
+every other entry point (the ``rpq()`` helpers, the CLI);
+:class:`QueryService` is the JSONL protocol adapter on top — request
+parsing/validation, response rendering, the thread-pool batch
+executor and the service counters.
 """
 
 from repro.service.cache import CacheStats, LRUCache

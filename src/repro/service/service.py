@@ -1,7 +1,13 @@
 """The batched :class:`QueryService` — cached, concurrent RPQ serving.
 
 See :mod:`repro.service` for the architecture overview (cache keys,
-invalidation, thread-safety).  In short: requests flow through
+invalidation, thread-safety).  Since the ``repro.api`` façade landed,
+the service is a thin protocol adapter: the graph registry, both
+caches and the execution path live in :class:`repro.api.Database`;
+this module maps the JSONL :class:`QueryRequest`/:class:`QueryResponse`
+wire model onto façade queries and keeps the service-level counters.
+
+In short: requests flow through
 
 * a **plan cache** — regex string → compiled automaton +
   :class:`~repro.core.compile.CompiledQuery` (ε-elimination and the
@@ -19,43 +25,19 @@ the baseline the service benchmark compares against.
 
 from __future__ import annotations
 
-import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+import threading
+from typing import Any, Dict, List, Optional, Sequence
 
-from repro.core.engine import DistinctShortestWalks
-from repro.core.enumerate import enumerate_walks_recursive
-from repro.core.multi_target import MultiTargetShortestWalks
-from repro.core.walks import Walk
 from repro.exceptions import ReproError
 from repro.graph.database import Graph
-from repro.query.rpq import RPQ
-from repro.service.cache import LRUCache
 from repro.service.requests import QueryRequest, QueryResponse, RequestError
 
 
 class ServiceError(ReproError):
     """Service-level misuse (unknown graph, no graph registered, …)."""
-
-
-@dataclass
-class _GraphHandle:
-    """A registered graph plus its monotonically increasing version."""
-
-    name: str
-    graph: Graph
-    version: int
-
-
-@dataclass
-class _Plan:
-    """A plan-cache value: the compiled form of one query text."""
-
-    rpq: RPQ
-    compiled: Any  # CompiledQuery; typed loosely to avoid import cycle.
-    build_s: float
 
 
 @dataclass
@@ -116,16 +98,16 @@ class QueryService:
                 f"default_mode must be a concrete engine mode, "
                 f"got {default_mode!r}"
             )
-        self._graphs: Dict[str, _GraphHandle] = {}
-        self._graphs_lock = threading.Lock()
-        # Service-wide monotone version counter — never reset, not even
-        # when a name is unregistered and re-registered, so a stale
-        # in-flight cache build can never collide with a fresh key.
-        self._next_version = 0
-        self._plan_cache: LRUCache[Tuple, _Plan] = LRUCache(plan_cache_size)
-        self._annotation_cache: LRUCache[
-            Tuple, MultiTargetShortestWalks
-        ] = LRUCache(annotation_cache_size)
+        # Imported lazily: repro.api.database itself imports
+        # repro.service.cache, so a module-level import here would be
+        # circular when repro.api loads first.
+        from repro.api.database import Database
+
+        self._db = Database(
+            plan_cache_size=plan_cache_size,
+            annotation_cache_size=annotation_cache_size,
+            default_mode=default_mode,
+        )
         self.default_mode = default_mode
         self.max_workers = max_workers
         self._stats = ServiceStats()
@@ -139,58 +121,21 @@ class QueryService:
         """Register (or replace) a graph under ``name``; returns its version.
 
         Re-registering bumps the version, which invalidates every
-        cached plan and annotation for the old graph (their cache keys
-        embed the version, and the stale entries are purged eagerly).
-        Versions are drawn from one service-wide monotone counter, so
-        no (name, version) pair is ever reused — an unregister/register
-        cycle cannot alias a stale in-flight build.  With ``warm=True``
-        the graph's lazy CSR indexes are built now, on the caller's
-        thread, so no request pays the O(|D|) build.
+        cached plan and annotation for the old graph — see
+        :meth:`repro.api.Database.register` for the mechanics.
         """
-        with self._graphs_lock:
-            self._next_version += 1
-            version = self._next_version
-            replacing = name in self._graphs
-            self._graphs[name] = _GraphHandle(name, graph, version)
-        if replacing:
-            # Purge entries of every *older* version of this graph — a
-            # racing request may already have inserted entries for the
-            # new version, and those are valid.
-            def stale(key) -> bool:
-                return key[0] == name and key[1] != version
-
-            self._plan_cache.drop_where(stale)
-            self._annotation_cache.drop_where(stale)
-        if warm:
-            graph.warm_indexes()
-        return version
+        return self._db.register(name, graph, warm=warm)
 
     def unregister_graph(self, name: str) -> None:
         """Remove a graph and purge its cached artifacts."""
-        with self._graphs_lock:
-            if name not in self._graphs:
-                raise ServiceError(f"unknown graph {name!r}")
-            del self._graphs[name]
-        self._plan_cache.drop_where(lambda k: k[0] == name)
-        self._annotation_cache.drop_where(lambda k: k[0] == name)
+        try:
+            self._db.unregister(name)
+        except ReproError as exc:
+            raise ServiceError(str(exc)) from None
 
     def graph_version(self, name: str) -> int:
         """Current version of a registered graph."""
-        return self._handle(name).version
-
-    def _handle(self, name: Optional[str]) -> _GraphHandle:
-        with self._graphs_lock:
-            if name is None:
-                if len(self._graphs) == 1:
-                    return next(iter(self._graphs.values()))
-                raise ServiceError(
-                    "request names no graph and the service has "
-                    f"{len(self._graphs)} registered; set 'graph'"
-                )
-            handle = self._graphs.get(name)
-            if handle is None:
-                raise ServiceError(f"unknown graph {name!r}")
-            return handle
+        return self._db.version(name)
 
     # -- execution -----------------------------------------------------------
 
@@ -203,7 +148,7 @@ class QueryService:
         """
         started = time.perf_counter()
         try:
-            response = self._execute_checked(request, started)
+            response = self._execute_checked(request)
         except (RequestError, ReproError) as exc:
             response = QueryResponse(
                 status="error", error=str(exc), id=request.id
@@ -250,316 +195,56 @@ class QueryService:
 
     # -- internals -----------------------------------------------------------
 
-    def _plan_for(
-        self, handle: _GraphHandle, request: QueryRequest
-    ) -> Tuple[_Plan, bool]:
-        key = (
-            handle.name,
-            handle.version,
-            request.construction,
-            request.query,
-        )
-        hit = True
-
-        def build() -> _Plan:
-            nonlocal hit
-            hit = False
-            t0 = time.perf_counter()
-            compiled_rpq = RPQ(request.query, method=request.construction)
-            from repro.core.compile import compile_query
-
-            cq = compile_query(handle.graph, compiled_rpq.automaton)
-            build_s = time.perf_counter() - t0
-            with self._stats_lock:
-                self._stats.plan_build_s += build_s
-            return _Plan(rpq=compiled_rpq, compiled=cq, build_s=build_s)
-
-        plan = self._plan_cache.get_or_create(key, build)
-        return plan, hit
-
-    def _annotation_for(
-        self,
-        handle: _GraphHandle,
-        request: QueryRequest,
-        plan: _Plan,
-        source: int,
-    ) -> Tuple[MultiTargetShortestWalks, bool]:
-        key = (
-            handle.name,
-            handle.version,
-            request.construction,
-            request.query,
-            source,
-        )
-        hit = True
-
-        def build() -> MultiTargetShortestWalks:
-            nonlocal hit
-            hit = False
-            t0 = time.perf_counter()
-            # The request's original source, not the resolved id: the
-            # constructor resolves names itself, and on graphs with
-            # integer vertex *names* an id would resolve differently.
-            mt = MultiTargetShortestWalks(
-                handle.graph,
-                plan.rpq.automaton,
-                request.source,
-                compiled=plan.compiled,
-            ).preprocess()
-            build_s = time.perf_counter() - t0
-            with self._stats_lock:
-                self._stats.annotation_build_s += build_s
-            return mt
-
-        mt = self._annotation_cache.get_or_create(key, build)
-        return mt, hit
-
-    def _execute_checked(
-        self, request: QueryRequest, started: float
-    ) -> QueryResponse:
+    def _execute_checked(self, request: QueryRequest) -> QueryResponse:
         request.validate()
-        handle = self._handle(request.graph)
-        graph = handle.graph
-        source = graph.resolve_vertex(request.source)
-        target = graph.resolve_vertex(request.target)
-        _check_cursor_shape(graph, request.cursor, target)
-        deadline = (
-            started + request.timeout_ms / 1000.0
-            if request.timeout_ms is not None
-            else None
+        query = (
+            self._db.query(request.query)
+            .on(request.graph)
+            .construction(request.construction)
+            .from_(request.source)
+            .to(request.target)
+            .mode(request.mode)
+            .limit(request.limit)
+            .offset(request.offset)
+            .timeout_ms(request.timeout_ms)
         )
-
-        plan, plan_hit = self._plan_for(handle, request)
-        cached = {"plan": plan_hit}
-        timings: Dict[str, float] = {}
-
-        if self._annotation_cache.capacity == 0:
-            iterator, lam = self._cold_iterator(
-                graph, plan, request, timings
-            )
-            cached["annotation"] = False
-        else:
-            iterator, lam = self._cached_iterator(
-                handle, request, plan, source, target, cached, timings
-            )
-
-        if lam is None:
+        if request.cursor is not None:
+            query = query.cursor(list(request.cursor))
+        result = query.run()
+        if result.lam is None:
             return QueryResponse(
-                status="empty", cached=cached, timings=timings, id=request.id
+                status="empty",
+                cached=result.stats["cached"],
+                timings=result.stats["timings"],
+                id=request.id,
             )
-        if request.cursor is not None and len(request.cursor) != lam:
-            raise RequestError(
-                f"cursor length {len(request.cursor)} differs from λ={lam} "
-                "— stale cursor from another query or graph version?"
-            )
-
-        t0 = time.perf_counter()
-        walks, next_cursor, skipped, timed_out = self._paginate(
-            iterator, request, deadline
-        )
-        timings["enumerate"] = time.perf_counter() - t0
+        walks = [row.walk.to_dict() for row in result]
         return QueryResponse(
-            status="timeout" if timed_out else "ok",
-            lam=lam,
-            walks=[w.to_dict() for w in walks],
-            next_cursor=next_cursor,
-            skipped=skipped,
-            cached=cached,
-            timings=timings,
+            status="timeout" if result.timed_out else "ok",
+            lam=result.lam,
+            walks=walks,
+            next_cursor=(
+                list(result.next_cursor.edges)
+                if result.next_cursor is not None
+                else None
+            ),
+            skipped=result.skipped,
+            cached=result.stats["cached"],
+            timings=result.stats["timings"],
             id=request.id,
         )
-
-    def _cached_iterator(
-        self,
-        handle: _GraphHandle,
-        request: QueryRequest,
-        plan: _Plan,
-        source: int,
-        target: int,
-        cached: Dict[str, bool],
-        timings: Dict[str, float],
-    ) -> Tuple[Optional[Iterator[Walk]], Optional[int]]:
-        t0 = time.perf_counter()
-        mt, ann_hit = self._annotation_for(handle, request, plan, source)
-        # From this request's perspective: build time on a miss,
-        # single-flight wait time when another thread is building.
-        timings["annotate"] = time.perf_counter() - t0
-        cached["annotation"] = ann_hit
-        lam_t, states = mt.annotation.target_info(target)
-        if lam_t is None:
-            return None, None
-        mode = (
-            self.default_mode if request.mode == "auto" else request.mode
-        )
-        # NB: the enumeration entry points below take the *resolved*
-        # target id where the API is id-based, and the request's
-        # original value where the API resolves names itself — never
-        # an already-resolved id through a name-resolving API (graphs
-        # may name their vertices with integers).
-        if mode == "memoryless":
-            iterator = mt.walks_to(
-                request.target, memoryless=True, resume_after=request.cursor
-            )
-        elif mode == "recursive":
-            iterator = enumerate_walks_recursive(
-                handle.graph, mt.trimmed.snapshot(), lam_t, target, states
-            )
-            iterator = _skip_past_cursor(iterator, request.cursor)
-        else:  # iterative
-            iterator = mt.walks_to(request.target, snapshot=True)
-            iterator = _skip_past_cursor(iterator, request.cursor)
-        return iterator, lam_t
-
-    def _cold_iterator(
-        self,
-        graph: Graph,
-        plan: _Plan,
-        request: QueryRequest,
-        timings: Dict[str, float],
-    ) -> Tuple[Optional[Iterator[Walk]], Optional[int]]:
-        # Cold per-request execution: the ordinary single-pair engine,
-        # early-stopping Annotate and all ("auto" here is the engine's
-        # own auto, including its fast-path detection).  The compiled
-        # plan is still injected when the plan cache has one.  Cursors
-        # resume by replaying the prefix — there is no cached resumable
-        # structure to seek in.
-        t0 = time.perf_counter()
-        engine = DistinctShortestWalks(
-            graph,
-            plan.rpq.automaton,
-            request.source,
-            request.target,
-            mode=request.mode,
-            compiled=plan.compiled,
-        )
-        lam = engine.lam  # Triggers preprocessing.
-        timings["annotate"] = time.perf_counter() - t0
-        if lam is None:
-            return None, None
-        return _skip_past_cursor(engine.enumerate(), request.cursor), lam
-
-    def _paginate(
-        self,
-        iterator: Iterator[Walk],
-        request: QueryRequest,
-        deadline: Optional[float],
-    ) -> Tuple[List[Walk], Optional[List[int]], int, bool]:
-        """Apply offset/limit/deadline.
-
-        Returns ``(page, next_cursor, skipped, timed_out)``:
-        ``next_cursor`` is the resume token for the walk *after* the
-        page (``None`` when the enumeration is exhausted) and
-        ``skipped`` how much of the offset was consumed (it matters on
-        timeout — see :class:`~repro.service.requests.QueryRequest`).
-        The deadline is checked between outputs — Theorem 2's delay
-        bound is what makes this an O(λ·|A|) overshoot at worst.
-        """
-        page: List[Walk] = []
-        #: Last walk skipped or emitted — the anchor a resume cursor
-        #: points at.  The request's own cursor is the fallback anchor
-        #: when nothing was consumed yet (timeout before any output).
-        last: Optional[Walk] = None
-        fallback = (
-            list(request.cursor) if request.cursor is not None else None
-        )
-        skipped = 0
-        timed_out = False
-        limit = request.limit
-        try:
-            for walk in iterator:
-                if skipped < request.offset:
-                    skipped += 1
-                elif limit is None or len(page) < limit:
-                    page.append(walk)
-                else:
-                    # One walk past the page: the enumeration has more.
-                    cursor = list(last.edges) if last is not None else fallback
-                    return page, cursor, skipped, False
-                last = walk
-                if deadline is not None and time.perf_counter() > deadline:
-                    timed_out = True
-                    break
-        finally:
-            close = getattr(iterator, "close", None)
-            if close is not None:
-                close()
-        if timed_out:
-            cursor = list(last.edges) if last is not None else fallback
-            return page, cursor, skipped, True
-        return page, None, skipped, False
 
     # -- statistics ----------------------------------------------------------
 
     def stats(self) -> Dict[str, Any]:
         """A point-in-time snapshot of every service counter."""
+        plan_build_s, annotation_build_s = self._db.build_seconds()
         with self._stats_lock:
+            self._stats.plan_build_s = plan_build_s
+            self._stats.annotation_build_s = annotation_build_s
             counters = self._stats.as_dict()
-        with self._graphs_lock:
-            graphs = {
-                name: handle.version
-                for name, handle in self._graphs.items()
-            }
         return {
             **counters,
-            "plan_cache": {
-                "capacity": self._plan_cache.capacity,
-                "entries": len(self._plan_cache),
-                **self._plan_cache.stats.as_dict(),
-            },
-            "annotation_cache": {
-                "capacity": self._annotation_cache.capacity,
-                "entries": len(self._annotation_cache),
-                **self._annotation_cache.stats.as_dict(),
-            },
-            "graphs": graphs,
+            **self._db.cache_stats(),
+            "graphs": self._db.graphs(),
         }
-
-
-def _check_cursor_shape(
-    graph: Graph, cursor: Optional[Tuple[int, ...]], target: int
-) -> None:
-    """Reject cursors that cannot be a previous output of this graph.
-
-    Edge ids must exist, concatenate into a walk (checked by the
-    :class:`Walk` constructor) and end at the queried target; a
-    λ-length check follows once λ is known.  This keeps a stale or
-    corrupted client cursor a per-request ``"error"`` response instead
-    of an IndexError inside the enumerators.
-    """
-    if cursor is None or not cursor:
-        return
-    for e in cursor:
-        if not 0 <= e < graph.edge_count:
-            raise RequestError(f"cursor contains unknown edge id {e}")
-    walk = Walk(graph, cursor)  # GraphError if edges do not concatenate.
-    if walk.tgt != target:
-        raise RequestError("cursor walk does not end at the target")
-
-
-def _skip_past_cursor(
-    iterator: Iterator[Walk], cursor: Optional[Tuple[int, ...]]
-) -> Iterator[Walk]:
-    """Drop outputs up to and including the cursor walk.
-
-    The eager enumerators cannot seek, so resuming them replays the
-    prefix — O(position) rather than the memoryless mode's O(λ).  The
-    output *order* is identical across the general modes (the paper's
-    DFS order), so a cursor handed out by one mode is valid in another.
-    A cursor that matches no output (it passed the shape checks but was
-    never an answer of this query) is an error, not a silent empty
-    page claiming exhaustion.
-    """
-    if cursor is None:
-        yield from iterator
-        return
-    cursor = tuple(cursor)
-    seen = False
-    for walk in iterator:
-        if seen:
-            yield walk
-        elif walk.edges == cursor:
-            seen = True
-    if not seen:
-        raise RequestError(
-            "cursor does not match any output of this enumeration"
-        )

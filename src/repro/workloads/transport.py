@@ -21,7 +21,7 @@ together exercise every branch of the cheapest-walk annotation.
 from __future__ import annotations
 
 import random
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Tuple
 
 from repro.exceptions import GraphError
 from repro.graph.builder import GraphBuilder

@@ -1,0 +1,239 @@
+"""Unit tests for the fluent :class:`repro.api.Query` builder."""
+
+import pytest
+
+from repro.api import Database
+from repro.core.cheapest import DistinctCheapestWalks
+from repro.core.engine import DistinctShortestWalks
+from repro.exceptions import QueryError
+from repro.graph.builder import GraphBuilder
+from repro.query import rpq
+from repro.workloads.fraud import example9_graph
+
+QUERY = "h* s (h | s)*"
+
+
+@pytest.fixture
+def graph():
+    return example9_graph()
+
+
+@pytest.fixture
+def db(graph):
+    return Database(graph)
+
+
+def _engine_edges(graph, expression, source, target):
+    engine = DistinctShortestWalks(
+        graph, rpq(expression).automaton, source, target, mode="iterative"
+    )
+    return [w.edges for w in engine.enumerate()]
+
+
+class TestBuilderSemantics:
+    def test_copy_on_write_forking(self, db):
+        base = db.query(QUERY).from_("Alix")
+        pair = base.to("Bob")
+        fan = base.to_all()
+        assert pair.run().lam == 3
+        assert len(fan.run().all()) == 8
+        # The fork did not mutate the base.
+        with pytest.raises(QueryError, match="needs to"):
+            base.run()
+
+    def test_shape_conflicts_rejected(self, db):
+        q = db.query(QUERY)
+        with pytest.raises(QueryError):
+            q.from_("Alix").from_any(["Dan"])
+        with pytest.raises(QueryError):
+            q.from_any(["Dan"]).from_("Alix")
+        with pytest.raises(QueryError):
+            q.to("Bob").to_all()
+        with pytest.raises(QueryError):
+            q.from_("Alix").all_pairs()
+        with pytest.raises(QueryError):
+            q.from_any([])
+
+    def test_knob_validation(self, db):
+        q = db.query(QUERY)
+        with pytest.raises(QueryError):
+            q.mode("warp")
+        with pytest.raises(QueryError):
+            q.construction("brzozowski")
+        with pytest.raises(QueryError):
+            q.limit(0)
+        with pytest.raises(QueryError):
+            q.offset(-1)
+        with pytest.raises(QueryError):
+            q.timeout_ms(-5)
+        with pytest.raises(QueryError):
+            q.cursor("nope")
+        with pytest.raises(QueryError):
+            q.semantics("fastest")
+
+    def test_repr_mentions_shape(self, db):
+        assert "pair" in repr(db.query(QUERY).from_("Alix").to("Bob"))
+        assert "unshaped" in repr(db.query(QUERY))
+
+
+class TestModesAndSemantics:
+    def test_every_shortest_mode_agrees(self, db, graph):
+        expected = _engine_edges(graph, QUERY, "Alix", "Bob")
+        for mode in ("auto", "iterative", "recursive", "memoryless"):
+            rows = db.query(QUERY).from_("Alix").to("Bob").mode(mode).run()
+            assert [r.walk.edges for r in rows] == expected, mode
+
+    def test_cheapest_matches_engine(self):
+        b = GraphBuilder()
+        b.add_edge("s", "m", ["a"], cost=1)
+        b.add_edge("m", "t", ["a"], cost=1)
+        b.add_edge("s", "t", ["a"], cost=2)
+        b.add_edge("s", "t", ["a"], cost=9)
+        graph = b.build()
+        engine = DistinctCheapestWalks(
+            graph, rpq("a+").automaton, "s", "t"
+        )
+        expected = sorted(w.edges for w in engine.enumerate())
+        for mode in ("auto", "iterative", "memoryless"):
+            rows = (
+                Database(graph).query("a+").cheapest()
+                .from_("s").to("t").mode(mode).run()
+            )
+            assert sorted(r.walk.edges for r in rows) == expected, mode
+            assert all(r.cost == 2 for r in rows), mode
+
+    def test_cheapest_rejects_recursive(self, db):
+        with pytest.raises(QueryError, match="recursive"):
+            db.query(QUERY).cheapest().from_("Alix").to("Bob").mode(
+                "recursive"
+            ).run()
+
+    def test_multiplicity_rows(self, db):
+        rows = (
+            db.query(QUERY).from_("Alix").to("Bob")
+            .with_multiplicity().run().all()
+        )
+        assert sorted(r.multiplicity for r in rows) == [1, 2, 2, 3]
+
+    def test_plain_rows_have_no_multiplicity(self, db):
+        rows = db.query(QUERY).from_("Alix").to("Bob").run().all()
+        assert all(r.multiplicity is None for r in rows)
+
+    def test_count_methods_agree(self, db):
+        pair = db.query(QUERY).from_("Alix").to("Bob")
+        assert pair.count() == pair.count(method="dp") == 4
+        fan = db.query(QUERY).from_("Alix").to_all()
+        assert fan.count() == fan.count(method="dp") == 8
+        everything = db.query("h").all_pairs()
+        assert everything.count() == everything.count(method="dp") == 6
+        with pytest.raises(QueryError, match="count method"):
+            pair.count(method="guess")
+
+    def test_count_ignores_pagination(self, db):
+        assert db.query(QUERY).from_("Alix").to("Bob").limit(1).count() == 4
+
+
+class TestShapes:
+    def test_pair_rows_carry_names_and_lam(self, db):
+        rows = db.query(QUERY).from_("Alix").to("Bob").run().all()
+        assert {(r.source, r.target, r.lam) for r in rows} == {
+            ("Alix", "Bob", 3)
+        }
+        assert all(r.length == 3 for r in rows)
+
+    def test_one_to_all_matches_per_target_engines(self, db, graph):
+        rows = db.query(QUERY).from_("Alix").to_all().run().all()
+        by_target = {}
+        for row in rows:
+            by_target.setdefault(row.target, []).append(row.walk.edges)
+        assert set(by_target) == {"Bob", "Cassie", "Dan", "Eve"}
+        for target, edges in by_target.items():
+            assert edges == _engine_edges(graph, QUERY, "Alix", target)
+
+    def test_targets_terminal(self, db):
+        fan = db.query(QUERY).from_("Alix").to_all()
+        assert dict(fan.targets()) == {
+            "Bob": 3, "Cassie": 2, "Dan": 1, "Eve": 2,
+        }
+        with pytest.raises(QueryError, match="to_all"):
+            db.query(QUERY).from_("Alix").to("Bob").targets()
+
+    def test_from_any_super_source_minimum(self, db):
+        # Alix→Bob has λ=3 but Dan→Bob has λ=2: only Dan's walks win.
+        rows = (
+            db.query(QUERY).from_any(["Alix", "Dan"]).to("Bob").run()
+        )
+        materialized = rows.all()
+        assert rows.lam == 2
+        assert {r.source for r in materialized} == {"Dan"}
+        assert all(r.length == 2 for r in materialized)
+
+    def test_from_any_tie_keeps_caller_order(self, db):
+        rows = (
+            db.query("(h | s)").from_any(["Cassie", "Dan"]).to("Eve")
+            .run().all()
+        )
+        # Both sources reach Eve in one hop — caller order, then the
+        # per-bucket DFS order.
+        assert [r.source for r in rows] == [
+            "Cassie", "Cassie", "Dan",
+        ]
+
+    def test_from_any_duplicates_are_deduped(self, db):
+        once = db.query(QUERY).from_any(["Dan"]).to("Bob").run().all()
+        twice = (
+            db.query(QUERY).from_any(["Dan", "Dan"]).to("Bob").run().all()
+        )
+        assert [r.walk.edges for r in twice] == [r.walk.edges for r in once]
+
+    def test_all_pairs_covers_every_reachable_pair(self, db, graph):
+        rows = db.query("h").all_pairs().run().all()
+        got = {(r.source, r.target): r.walk.edges for r in rows}
+        assert len(got) == 6  # Six single-h edges in Figure 1.
+        for (source, target), edges in got.items():
+            assert [edges] == _engine_edges(graph, "h", source, target)
+
+    def test_empty_results(self, db):
+        assert db.query("h").from_("Bob").to("Alix").run().all() == []
+        assert db.query("h").from_("Bob").to("Alix").run().lam is None
+        assert db.query("h").from_("Bob").to_all().run().all() == []
+        assert (
+            db.query("h").from_any(["Bob"]).to("Alix").run().lam is None
+        )
+
+    def test_lambda_zero_pair(self, db):
+        rows = db.query("h*").from_("Alix").to("Alix").run()
+        materialized = rows.all()
+        assert rows.lam == 0
+        assert [r.walk.edges for r in materialized] == [()]
+
+
+class TestExplainAndStats:
+    def test_explain_mentions_facade_routing(self, db):
+        plan = db.query(QUERY).from_("Alix").to("Bob").explain()
+        text = plan.explain()
+        assert "façade" in text and "'pair'" in text
+        assert "memoryless" in text
+
+    def test_explain_cold_fast_path(self):
+        b = GraphBuilder()
+        b.add_edge("a", "b", ["x"])
+        cold = Database(b.build(), annotation_cache_size=0)
+        plan = (
+            cold.query("x", ).from_("a").to("b").explain()
+        )
+        assert "cold single-pair engine" in plan.explain()
+
+    def test_stats_terminal(self, db):
+        stats = db.query(QUERY).from_("Alix").to("Bob").stats()
+        assert stats["rows"] == 4 and stats["lam"] == 3
+        assert "annotate" in stats["timings"]
+        assert "enumerate" in stats["timings"]
+        assert set(stats["cached"]) == {"plan", "annotation"}
+
+    def test_rpq_object_queries_skip_reparse(self, db):
+        compiled = rpq(QUERY)
+        rows = db.query(compiled).from_("Alix").to("Bob").run().all()
+        assert len(rows) == 4
+        with pytest.raises(QueryError, match="glushkov"):
+            db.query(compiled).construction("glushkov")

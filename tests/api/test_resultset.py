@@ -1,0 +1,195 @@
+"""Cursor/pagination tests for :class:`repro.api.ResultSet`."""
+
+import pytest
+
+from repro.api import Cursor, Database
+from repro.exceptions import QueryError
+from repro.workloads.fraud import example9_graph
+from repro.workloads.worstcase import diamond_chain
+
+QUERY = "h* s (h | s)*"
+
+
+@pytest.fixture
+def db():
+    return Database(example9_graph())
+
+
+def _edges(rows):
+    return [row.walk.edges for row in rows]
+
+
+def _drain_pages(query, page_size):
+    """Page through a query one cursor at a time; returns all rows."""
+    rows = []
+    cursor = None
+    for _ in range(100):
+        rs = query.limit(page_size).cursor(cursor).run()
+        page = rs.all()
+        rows.extend(page)
+        cursor = rs.next_cursor
+        if cursor is None:
+            break
+    else:  # pragma: no cover — safety against infinite paging
+        pytest.fail("cursor paging did not terminate")
+    return rows
+
+
+class TestPairCursors:
+    def test_cursor_round_trip_reassembles(self, db):
+        query = db.query(QUERY).from_("Alix").to("Bob")
+        full = _edges(query.run())
+        for page_size in (1, 2, 3):
+            assert _edges(_drain_pages(query, page_size)) == full, page_size
+
+    def test_cursor_portable_across_modes(self, db):
+        query = db.query(QUERY).from_("Alix").to("Bob")
+        first = query.mode("memoryless").limit(2).run()
+        head = _edges(first)
+        token = first.next_cursor
+        for mode in ("iterative", "recursive", "memoryless"):
+            rest = query.mode(mode).cursor(token).run()
+            assert head + _edges(rest) == _edges(query.run()), mode
+
+    def test_cursor_accepts_equivalent_encodings(self, db):
+        query = db.query(QUERY).from_("Alix").to("Bob")
+        first = query.limit(1).run()
+        _ = first.all()
+        token = first.next_cursor
+        as_cursor = _edges(query.cursor(token).run())
+        as_dict = _edges(query.cursor(token.to_dict()).run())
+        as_edges = _edges(query.cursor(list(token.edges)).run())
+        assert as_cursor == as_dict == as_edges
+
+    def test_exhausted_page_has_no_cursor(self, db):
+        rs = db.query(QUERY).from_("Alix").to("Bob").limit(100).run()
+        assert len(rs.all()) == 4
+        assert rs.next_cursor is None
+
+    def test_exact_boundary_page_has_no_cursor(self, db):
+        rs = db.query(QUERY).from_("Alix").to("Bob").limit(4).run()
+        assert len(rs.all()) == 4
+        assert rs.next_cursor is None
+
+    def test_offset_and_skipped(self, db):
+        query = db.query(QUERY).from_("Alix").to("Bob")
+        full = _edges(query.run())
+        rs = query.offset(2).run()
+        assert _edges(rs) == full[2:]
+        assert rs.skipped == 2
+
+    def test_stale_cursor_length_rejected(self, db):
+        # Edge 6 ends at Bob, so the shape check passes — but a
+        # 1-edge cursor cannot be an output of a λ=3 enumeration.
+        with pytest.raises(QueryError, match="λ"):
+            db.query(QUERY).from_("Alix").to("Bob").cursor([6]).run().all()
+
+    def test_unknown_edge_cursor_rejected(self, db):
+        with pytest.raises(QueryError, match="cursor"):
+            (
+                db.query(QUERY).from_("Alix").to("Bob")
+                .cursor([999999]).run().all()
+            )
+
+    def test_foreign_walk_cursor_rejected(self, db):
+        # A real λ-length walk ending at Bob that is not an answer.
+        with pytest.raises(QueryError, match="cursor"):
+            (
+                db.query(QUERY).from_("Alix").to("Bob")
+                .mode("iterative").cursor([1, 4, 6]).run().all()
+            )
+
+    def test_timeout_returns_partial_resumable_page(self):
+        graph, _, s, t = diamond_chain(12, parallel=2)
+        database = Database(graph)
+        rs = database.query("a*").from_(s).to(t).timeout_ms(0.0).run()
+        partial = rs.all()
+        assert rs.timed_out
+        assert len(partial) < 2 ** 12
+        resumed = (
+            database.query("a*").from_(s).to(t)
+            .cursor(rs.next_cursor).limit(3).run()
+        )
+        assert len(resumed.all()) == 3 and not resumed.timed_out
+
+
+class TestBucketedCursors:
+    def test_one_to_all_pages_across_buckets(self, db):
+        query = db.query(QUERY).from_("Alix").to_all()
+        full = [(r.target, r.walk.edges) for r in query.run()]
+        for page_size in (1, 3):
+            paged = [
+                (r.target, r.walk.edges)
+                for r in _drain_pages(query, page_size)
+            ]
+            assert paged == full, page_size
+
+    def test_bucketed_cursor_carries_the_bucket(self, db):
+        rs = db.query(QUERY).from_("Alix").to_all().limit(1).run()
+        row = rs.all()[0]
+        token = rs.next_cursor
+        assert isinstance(token, Cursor)
+        assert token.target == row.target
+        assert token.edges == row.walk.edges
+
+    def test_all_pairs_pages_across_sources(self, db):
+        query = db.query("h | s").all_pairs()
+        full = [(r.source, r.target, r.walk.edges) for r in query.run()]
+        paged = [
+            (r.source, r.target, r.walk.edges)
+            for r in _drain_pages(query, 2)
+        ]
+        assert paged == full and len(full) >= 8
+
+    def test_from_any_pages_across_sources(self, db):
+        query = db.query("(h | s)").from_any(["Cassie", "Dan"]).to("Eve")
+        full = [(r.source, r.walk.edges) for r in query.run()]
+        paged = [
+            (r.source, r.walk.edges) for r in _drain_pages(query, 1)
+        ]
+        assert paged == full and len(full) == 3
+
+    def test_pair_cursor_without_bucket_rejected_on_bucketed_query(self, db):
+        rs = db.query(QUERY).from_("Alix").to_all().limit(1).run()
+        _ = rs.all()
+        bare_edges = list(rs.next_cursor.edges)
+        with pytest.raises(QueryError, match="cursor"):
+            (
+                db.query(QUERY).from_("Alix").to_all()
+                .cursor(bare_edges).run().all()
+            )
+
+    def test_unmatched_bucket_cursor_rejected(self, db):
+        with pytest.raises(QueryError, match="cursor"):
+            (
+                db.query(QUERY).from_("Alix").to_all()
+                .cursor({"edges": [0], "target": "Dan", "source": "Bob"})
+                .run().all()
+            )
+
+
+class TestResultSetSurface:
+    def test_walks_and_to_dicts(self, db):
+        rs = db.query(QUERY).from_("Alix").to("Bob").run()
+        walks = list(rs.walks())
+        assert len(walks) == 4 and all(w.length == 3 for w in walks)
+        dicts = db.query(QUERY).from_("Alix").to("Bob").run().to_dicts()
+        assert dicts[0]["source"] == "Alix"
+        assert dicts[0]["target"] == "Bob"
+        assert dicts[0]["length"] == 3 and dicts[0]["lam"] == 3
+
+    def test_first_and_is_empty(self, db):
+        rs = db.query(QUERY).from_("Alix").to("Bob").run()
+        assert rs.first() is not None
+        empty = db.query("h").from_("Bob").to("Alix").run()
+        assert empty.is_empty and empty.first() is None
+
+    def test_single_use_iteration(self, db):
+        rs = db.query(QUERY).from_("Alix").to("Bob").run()
+        assert len(list(rs)) == 4
+        assert list(rs) == []  # Exhausted, not restarted.
+
+    def test_enumerate_timing_accrues(self, db):
+        rs = db.query(QUERY).from_("Alix").to("Bob").run()
+        _ = rs.all()
+        assert rs.stats["timings"]["enumerate"] >= 0.0

@@ -107,8 +107,6 @@ class TestProperties:
     @given(regex_asts(), regex_asts())
     @settings(max_examples=60, deadline=None)
     def test_counterexample_is_valid(self, left_ast, right_ast):
-        from repro.automata.minimize import OTHER
-
         left, right = regex_to_nfa(left_ast), regex_to_nfa(right_ast)
         word = counterexample(left, right)
         if word is not None:

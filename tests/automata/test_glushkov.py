@@ -1,7 +1,7 @@
 """Unit tests for the Glushkov (position) construction."""
 
 from repro.automata import glushkov_nfa
-from repro.automata.regex_ast import ast_size, desugar
+from repro.automata.regex_ast import desugar
 from repro.automata.regex_parser import parse_rpq
 
 

@@ -1,6 +1,5 @@
 """Unit and property tests for DFA minimization and language keys."""
 
-import pytest
 from hypothesis import given, settings
 
 from repro.automata import (

@@ -3,7 +3,6 @@ product, unambiguity)."""
 
 import pytest
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.automata import (
     EPSILON,

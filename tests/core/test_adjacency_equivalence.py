@@ -21,7 +21,6 @@ heap pops ties in deterministic ``(cost, v, q)`` order, so it is exact.
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

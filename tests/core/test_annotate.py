@@ -6,11 +6,7 @@ from hypothesis import given, settings
 from repro.baselines.oracle import oracle_lam
 from repro.core.annotate import annotate
 from repro.core.compile import compile_query
-from repro.workloads.fraud import (
-    EXAMPLE9_EDGE_IDS,
-    example9_automaton,
-    example9_graph,
-)
+from repro.workloads.fraud import example9_automaton, example9_graph
 
 from tests.conftest import small_instances
 

@@ -125,8 +125,6 @@ class TestCheapestOracle:
     @settings(max_examples=30, deadline=None)
     def test_matches_bruteforce(self, seed, n, m):
         import random
-        from itertools import product as iproduct
-
         rng = random.Random(seed)
         b = GraphBuilder()
         names = [f"v{i}" for i in range(n)]

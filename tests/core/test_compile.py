@@ -6,7 +6,6 @@ from repro.automata import ANY, EPSILON, NFA, thompson_nfa
 from repro.automata.regex_parser import parse_rpq
 from repro.core.compile import compile_query
 from repro.exceptions import QueryError
-from repro.graph import GraphBuilder
 from repro.workloads.fraud import example9_automaton, example9_graph
 
 

@@ -15,7 +15,7 @@ from repro.core.engine import DistinctShortestWalks
 from repro.exceptions import QueryError
 from repro.graph.builder import GraphBuilder
 from repro.workloads.fraud import example9_automaton, example9_graph
-from repro.workloads.worstcase import diamond_chain, duplicate_bomb, wide_nfa
+from repro.workloads.worstcase import diamond_chain, duplicate_bomb
 
 from tests.conftest import small_instances
 

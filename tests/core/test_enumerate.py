@@ -1,6 +1,5 @@
 """Unit tests for ``Enumerate`` — order, completeness, queue hygiene."""
 
-import pytest
 from hypothesis import given, settings
 
 from repro.baselines.oracle import oracle_answer_set

@@ -10,7 +10,6 @@ documents the instance where that loses answers, and the remaining
 tests pin the behaviour of the fix (ε-closed compiled transitions).
 """
 
-import pytest
 from hypothesis import given, settings
 
 from repro.automata import EPSILON, NFA, regex_to_nfa, remove_epsilon

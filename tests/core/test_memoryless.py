@@ -1,6 +1,5 @@
 """Unit tests for the memoryless enumeration (Theorem 18)."""
 
-import pytest
 from hypothesis import given, settings
 
 from repro.core.annotate import annotate

@@ -135,15 +135,19 @@ class TestProperties:
     @given(small_instances())
     @settings(max_examples=40, deadline=None)
     def test_multiplicity_bounded_by_words_times_runs(self, instance):
-        """Multiplicity ≤ (number of label words) × |Q|^λ — a loose
-        sanity bound that catches sign/overflow style bugs."""
+        """Multiplicity ≤ (number of label words) × |Q|^(λ+1) — a loose
+        sanity bound that catches sign/overflow style bugs.  A run on
+        a word of length λ is a sequence of λ+1 states (the initial
+        state is a choice too), hence the +1 in the exponent."""
         graph, nfa, s, t = instance
         engine = DistinctShortestWalks(graph, nfa, s, t)
         for walk, multiplicity in engine.enumerate_with_multiplicity():
             n_words = 1
             for labels in walk.label_sets():
                 n_words *= len(labels)
-            assert multiplicity <= n_words * (nfa.n_states ** max(walk.length, 1))
+            assert multiplicity <= n_words * (
+                nfa.n_states ** (walk.length + 1)
+            )
 
 
 class TestTrackedRuns:

@@ -46,8 +46,7 @@ class TestEligibility:
 class TestCorrectness:
     def test_grid_diagonal(self):
         g = grid(3, 3)
-        dfa = regex_to_nfa("(r | d){4}", method="glushkov")
-        # Glushkov of (r|d){4} is not deterministic; build by hand:
+        # Glushkov of (r|d){4} is not deterministic — build by hand:
         nfa = NFA(5)
         for i in range(4):
             nfa.add_transition(i, "r", i + 1)

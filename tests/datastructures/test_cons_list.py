@@ -1,6 +1,5 @@
 """Unit tests for the immutable cons lists (paper, Section 2.1)."""
 
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 

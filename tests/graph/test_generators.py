@@ -118,7 +118,7 @@ class TestRandomMultilabel:
 
 class TestLayered:
     def test_source_reaches_sink(self):
-        from repro import DistinctShortestWalks, regex_to_nfa
+        from repro import DistinctShortestWalks
 
         g = layered(4, 3, seed=5)
         validate_graph(g)

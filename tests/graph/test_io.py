@@ -146,7 +146,7 @@ class TestPropertyGraphJson:
             load_property_graph_json,
             save_property_graph_json,
         )
-        from repro.graph.property_graph import LabelRule, project
+        from repro.graph.property_graph import project
         from repro.workloads.fraud import (
             example9_property_graph,
             example9_rules,

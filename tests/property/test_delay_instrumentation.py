@@ -26,7 +26,7 @@ or the number of decoy edges.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Dict, Iterator, Tuple
 
 import pytest
 

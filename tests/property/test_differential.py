@@ -1,4 +1,4 @@
-"""Randomized differential testing: four engine modes vs the oracle.
+"""Randomized differential testing: engine modes + façade vs the oracle.
 
 Each case draws a random (graph, regex, source, target) instance from a
 *seeded* PRNG — no hypothesis shrinking, no example database: the same
@@ -25,9 +25,19 @@ paper to produce the same DFS order (children by increasing
 ``TgtIdx``), and ``auto`` joins them whenever it dispatches to the
 general engine (the simple-setting fast path may reorder).
 
+On top of the four engine modes, every case runs once more through
+the ``repro.api`` **façade** (``Database(graph).query(...)``) — the
+path the service, the ``RPQ`` helpers and the CLI all share now — and
+a second identical façade query must report plan + annotation cache
+hits.  Separate (smaller) case sets check the façade's *new* endpoint
+shapes against the same brute-force oracle: ``all_pairs()`` per pair,
+and ``from_any([...])`` against the min-λ union over the per-source
+oracle answer sets (the virtual super-source semantics).
+
 The number of cases and the seed base are environment knobs
-(``DIFF_CASES``, default 200; ``DIFF_SEED_BASE``, default 0) so the CI
-matrix can cover disjoint seed ranges without code changes.
+(``DIFF_CASES``, default 200; ``DIFF_FACADE_CASES``, default 40;
+``DIFF_SEED_BASE``, default 0) so the CI matrix can cover disjoint
+seed ranges without code changes.
 """
 
 from __future__ import annotations
@@ -38,6 +48,7 @@ from typing import List, Tuple
 
 import pytest
 
+from repro.api import Database
 from repro.baselines.oracle import oracle_answer_set, oracle_lam
 from repro.core.engine import DistinctShortestWalks
 from repro.graph.builder import GraphBuilder
@@ -49,6 +60,7 @@ _MODES = ("iterative", "recursive", "memoryless", "auto")
 
 SEED_BASE = int(os.environ.get("DIFF_SEED_BASE", "0"))
 N_CASES = int(os.environ.get("DIFF_CASES", "200"))
+N_FACADE_CASES = int(os.environ.get("DIFF_FACADE_CASES", "40"))
 
 #: Instances whose λ exceeds this are skipped: the oracle's exhaustive
 #: length-λ DFS is exponential in λ.  Random 6-vertex graphs rarely
@@ -161,6 +173,149 @@ def test_modes_agree(case: int) -> None:
     )
     if not auto_engine.uses_fast_path:
         assert outputs["auto"] == outputs["iterative"], context
+
+    # The façade column: the cached Database path (what RPQ, the
+    # service and the CLI route through) must agree with the engines
+    # on λ, the answer set, *and* the general-mode DFS order.
+    db = Database(graph)
+    query = db.query(expression).from_(source).to(target)
+    result = query.run()
+    facade = [row.walk.edges for row in result]
+    assert result.lam == lam, f"façade λ mismatch ({context})"
+    assert facade == outputs["iterative"], (
+        f"façade output differs from the engines ({context})"
+    )
+    # A repeat of the identical query must be served from both caches.
+    repeat = query.run()
+    assert [row.walk.edges for row in repeat] == facade, context
+    assert repeat.stats["cached"] == {"plan": True, "annotation": True}, (
+        f"façade repeat missed the caches ({context})"
+    )
+
+
+def _oracle_pair(graph, nfa, source: int, target: int):
+    """(λ, sorted answer set) per the oracle; skips oversize cases."""
+    lam = oracle_lam(graph, nfa, source, target)
+    if lam is not None and lam > _MAX_ORACLE_LAM:
+        pytest.skip(f"λ={lam} beyond the oracle budget")
+    if lam is None:
+        return None, []
+    try:
+        answers = oracle_answer_set(
+            graph, nfa, source, target, max_walks=_ORACLE_WALK_BUDGET
+        )
+    except RuntimeError:
+        pytest.skip("oracle walk budget exhausted")
+    return lam, answers
+
+
+@pytest.mark.parametrize("case", range(N_FACADE_CASES))
+def test_facade_all_pairs_matches_oracle(case: int) -> None:
+    """``all_pairs()`` == the oracle run over every (s, t) pair."""
+    seed = SEED_BASE + 10_000 + case
+    graph, expression, _, _ = _draw_case(seed)
+    nfa = rpq(expression).automaton
+    context = f"seed={seed} regex={expression!r}"
+
+    expected = {}
+    for s in graph.vertices():
+        for t in graph.vertices():
+            lam, answers = _oracle_pair(graph, nfa, s, t)
+            if lam is not None:
+                name_s = graph.vertex_name(s)
+                name_t = graph.vertex_name(t)
+                expected[(name_s, name_t)] = (lam, answers)
+
+    got = {}
+    for row in Database(graph).query(expression).all_pairs().run():
+        bucket = got.setdefault((row.source, row.target), [])
+        bucket.append(row.walk.edges)
+        assert row.lam == expected[(row.source, row.target)][0], context
+    assert set(got) == set(expected), context
+    for pair, edges in got.items():
+        assert len(set(edges)) == len(edges), f"{pair} duplicates ({context})"
+        assert sorted(edges) == expected[pair][1], f"{pair} ({context})"
+
+
+@pytest.mark.parametrize("case", range(N_FACADE_CASES))
+def test_facade_from_any_matches_oracle(case: int) -> None:
+    """``from_any([...])`` == min-λ union of per-source oracle sets.
+
+    The virtual super-source semantics: a walk is an answer iff it
+    starts at one of the given sources and its length equals the
+    minimum λ over all of them.
+    """
+    seed = SEED_BASE + 20_000 + case
+    graph, expression, _, target = _draw_case(seed)
+    nfa = rpq(expression).automaton
+    rng = random.Random(seed ^ 0x5EED)
+    n = graph.vertex_count
+    sources = rng.sample(range(n), rng.randint(1, n))
+    context = f"seed={seed} regex={expression!r} S={sources} t={target}"
+
+    per_source = {s: _oracle_pair(graph, nfa, s, target) for s in sources}
+    lams = [lam for lam, _ in per_source.values() if lam is not None]
+    global_lam = min(lams) if lams else None
+    expected = sorted(
+        (str(graph.vertex_name(s)), e)
+        for s, (lam, answers) in per_source.items()
+        if lam == global_lam and lam is not None
+        for e in answers
+    )
+
+    result = (
+        Database(graph)
+        .query(expression)
+        .from_any([graph.vertex_name(s) for s in sources])
+        .to(target)
+        .run()
+    )
+    rows = result.all()
+    assert result.lam == global_lam, context
+    got = sorted((str(row.source), row.walk.edges) for row in rows)
+    assert len(set(got)) == len(got), f"duplicates ({context})"
+    assert got == expected, context
+
+
+@pytest.mark.parametrize("case", range(N_FACADE_CASES))
+def test_facade_from_any_to_all_matches_oracle(case: int) -> None:
+    """``from_any([...]).to_all()``: per target, the min-λ union."""
+    seed = SEED_BASE + 30_000 + case
+    graph, expression, _, _ = _draw_case(seed)
+    nfa = rpq(expression).automaton
+    rng = random.Random(seed ^ 0x0DDB)
+    n = graph.vertex_count
+    sources = rng.sample(range(n), rng.randint(1, min(n, 3)))
+    context = f"seed={seed} regex={expression!r} S={sources}"
+
+    expected = {}
+    for t in graph.vertices():
+        per_source = {s: _oracle_pair(graph, nfa, s, t) for s in sources}
+        lams = [lam for lam, _ in per_source.values() if lam is not None]
+        if not lams:
+            continue
+        global_lam = min(lams)
+        expected[str(graph.vertex_name(t))] = sorted(
+            (str(graph.vertex_name(s)), e)
+            for s, (lam, answers) in per_source.items()
+            if lam == global_lam
+            for e in answers
+        )
+
+    got = {}
+    for row in (
+        Database(graph)
+        .query(expression)
+        .from_any([graph.vertex_name(s) for s in sources])
+        .to_all()
+        .run()
+    ):
+        got.setdefault(str(row.target), []).append(
+            (str(row.source), row.walk.edges)
+        )
+    assert set(got) == set(expected), context
+    for t, pairs in got.items():
+        assert sorted(pairs) == expected[t], f"target {t} ({context})"
 
 
 def test_skip_budget_not_exhausted() -> None:

@@ -257,7 +257,7 @@ class TestBatchCommand:
         code = main(["batch", graph_file, str(path)])
         out = capsys.readouterr().out
         assert code == 1  # Batch ran; one request errored.
-        statuses = [json.loads(l)["status"] for l in out.splitlines()]
+        statuses = [json.loads(line)["status"] for line in out.splitlines()]
         assert statuses == ["error", "ok"]
 
     def test_malformed_jsonl_is_input_error(self, graph_file, tmp_path, capsys):

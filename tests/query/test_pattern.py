@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 
 from repro.exceptions import PatternSyntaxError
-from repro.query.pattern import PathPattern, parse_pattern
+from repro.query.pattern import parse_pattern
 from repro.query.rpq import rpq
 from repro.workloads.fraud import example9_graph, example9_query
 
