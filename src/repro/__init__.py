@@ -88,6 +88,7 @@ from repro.graph import (
     PropertyGraph,
     project,
 )
+from repro.live import LiveGraph, MutationBatch, StandingQuery
 from repro.query import RPQ, PathPattern, analyze, parse_pattern, rpq
 from repro.service import QueryRequest, QueryResponse, QueryService
 
@@ -106,7 +107,9 @@ __all__ = [
     "GraphBuilder",
     "GraphError",
     "LabelRule",
+    "LiveGraph",
     "MultiTargetShortestWalks",
+    "MutationBatch",
     "NFA",
     "PathPattern",
     "PatternSyntaxError",
@@ -121,6 +124,7 @@ __all__ = [
     "Row",
     "RegexSyntaxError",
     "ReproError",
+    "StandingQuery",
     "Walk",
     "analyze",
     "count_distinct_shortest",

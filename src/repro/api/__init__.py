@@ -38,7 +38,7 @@ free; :class:`~repro.service.QueryService`, the classic
 are thin shims over this package.
 """
 
-from repro.api.database import Database
+from repro.api.database import Database, MutationResult
 from repro.api.query import Query
 from repro.api.result import ResultSet
 from repro.api.rows import Cursor, Row
@@ -46,6 +46,7 @@ from repro.api.rows import Cursor, Row
 __all__ = [
     "Cursor",
     "Database",
+    "MutationResult",
     "Query",
     "ResultSet",
     "Row",

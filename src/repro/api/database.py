@@ -60,6 +60,8 @@ from repro.core.simple import simple_eligible
 from repro.core.walks import Walk
 from repro.exceptions import QueryError
 from repro.graph.database import Graph
+from repro.live.delta import Delta, MutationBatch, ops_from_dicts
+from repro.live.live_graph import LiveGraph, query_label_footprint
 from repro.query.plan import QueryPlan, analyze
 from repro.query.rpq import RPQ
 from repro.service.cache import LRUCache
@@ -86,6 +88,12 @@ class _GraphHandle:
     name: str
     graph: Graph
     version: int
+    #: Change-feed detach hook (LiveGraph entries only).
+    unsubscribe: Any = None
+    #: ``(plans, annotations)`` evicted by the last mutation batch —
+    #: written by the database's own feed subscriber, read by
+    #: :meth:`Database.mutate` for its result receipt.
+    last_evictions: Tuple[int, int] = (0, 0)
 
 
 @dataclass
@@ -99,6 +107,40 @@ class _Plan:
     #: the first ``with_multiplicity`` execution (benign write race:
     #: every thread computes the same value).
     count_compiled: Any = None
+    #: ``(mentioned label names, uses_any)`` — what fine-grained
+    #: invalidation intersects with a mutation batch's *new* labels
+    #: (compilation drops transitions on labels absent from the
+    #: alphabet it saw, and expands wildcards over that alphabet, so
+    #: only label-universe growth can stale a plan).
+    footprint: Any = None
+
+
+@dataclass
+class MutationResult:
+    """Outcome of one :meth:`Database.mutate` call."""
+
+    #: Receipt of the applied batch (op/label details).
+    batch: MutationBatch
+    #: Graph version after the call (bumped only by promote/compact).
+    version: int
+    #: True when this call promoted a plain ``Graph`` to a
+    #: :class:`~repro.live.live_graph.LiveGraph` (full cache purge).
+    promoted: bool = False
+    #: True when the overlay was compacted (full cache purge).
+    compacted: bool = False
+    #: Cache entries evicted by fine-grained label intersection.
+    evicted_plans: int = 0
+    evicted_annotations: int = 0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            **self.batch.summary(),
+            "version": self.version,
+            "promoted": self.promoted,
+            "compacted": self.compacted,
+            "evicted_plans": self.evicted_plans,
+            "evicted_annotations": self.evicted_annotations,
+        }
 
 
 @dataclass
@@ -193,17 +235,44 @@ class Database:
 
     # -- graph registry ------------------------------------------------------
 
-    def register(self, name: str, graph: Graph, warm: bool = True) -> int:
+    def register(
+        self,
+        name: str,
+        graph: Union[Graph, LiveGraph],
+        warm: bool = True,
+    ) -> int:
         """Register (or replace) a graph under ``name``; returns its
         version.  Replacing bumps the version, which invalidates every
         cached plan and annotation of the old graph.  With
         ``warm=True`` the graph's lazy CSR indexes are built now, on
-        the caller's thread."""
+        the caller's thread.  Registering a
+        :class:`~repro.live.live_graph.LiveGraph` makes the entry
+        mutable through :meth:`mutate` without the one-time promotion
+        purge; the database subscribes to the graph's change feed, so
+        even direct ``LiveGraph.apply`` calls keep these caches
+        coherent (the eviction subscriber is registered before any
+        standing query can be, and feed delivery is in subscription
+        order)."""
         with self._graphs_lock:
             self._next_version += 1
             version = self._next_version
-            replacing = name in self._graphs
-            self._graphs[name] = _GraphHandle(name, graph, version)
+            old = self._graphs.get(name)
+            replacing = old is not None
+            handle = _GraphHandle(name, graph, version)
+            self._graphs[name] = handle
+            # Swap the feed subscription inside the registry lock so
+            # two interleaved re-registers cannot leave a stale
+            # handle's eviction subscriber attached forever (lock
+            # order is registry → graph feed; nothing takes them in
+            # reverse).  front=True keeps eviction ahead of user-level
+            # subscribers even across compaction re-registrations.
+            if old is not None and old.unsubscribe is not None:
+                old.unsubscribe()
+            if isinstance(graph, LiveGraph):
+                handle.unsubscribe = graph.subscribe(
+                    lambda batch: self._on_mutation(handle, batch),
+                    front=True,
+                )
         if replacing:
             # Purge entries of every *older* version of this graph — a
             # racing query may already have inserted entries for the
@@ -220,11 +289,189 @@ class Database:
     def unregister(self, name: str) -> None:
         """Remove a graph and purge its cached artifacts."""
         with self._graphs_lock:
-            if name not in self._graphs:
+            handle = self._graphs.get(name)
+            if handle is None:
                 raise QueryError(f"unknown graph {name!r}")
             del self._graphs[name]
+            if handle.unsubscribe is not None:
+                handle.unsubscribe()
         self._plan_cache.drop_where(lambda k: k[0] == name)
         self._annotation_cache.drop_where(lambda k: k[0] == name)
+
+    def _on_mutation(
+        self, handle: _GraphHandle, batch: MutationBatch
+    ) -> None:
+        """Change-feed subscriber: fine-grained label-footprint eviction.
+
+        Runs synchronously inside every ``LiveGraph.apply`` (and
+        ``compact``) on the registered graph — before user-level
+        subscribers such as standing queries, which therefore always
+        observe a coherent cache.  A cached *plan* is stale only when
+        the batch grew the label universe into labels the plan's
+        automaton mentions (or the plan compiled a wildcard over the
+        old alphabet); a cached *annotation* is stale whenever its
+        automaton can fire on any label the batch touched.  A
+        **compaction** receipt renumbers edge ids, where label
+        reasoning does not apply: it answers with a re-registration —
+        version bump, full purge of this graph's entries — so even a
+        direct ``LiveGraph.compact()`` call (outside
+        :meth:`Database.mutate`) keeps the caches coherent.
+        """
+        graph_name = handle.name
+        if batch.compaction:
+            self.register(graph_name, handle.graph, warm=False)
+            handle.last_evictions = (0, 0)
+            return
+
+        def plan_affected(key, plan: _Plan) -> bool:
+            if key[0] != graph_name:
+                return False
+            if plan.footprint is None:  # Unknown footprint: be safe.
+                return True
+            names, uses_any = plan.footprint
+            if uses_any:
+                return bool(batch.new_labels)
+            return bool(names & batch.new_labels)
+
+        def annotation_affected(key, mt: MultiTargetShortestWalks) -> bool:
+            if key[0] != graph_name:
+                return False
+            fp = getattr(mt, "_live_footprint", None)
+            if fp is None:
+                fp = query_label_footprint(mt.automaton)
+                mt._live_footprint = fp
+            names, uses_any = fp
+            if uses_any:
+                return bool(batch.touched_labels)
+            return bool(names & batch.touched_labels)
+
+        plans = self._plan_cache.drop_where_item(plan_affected)
+        annotations = self._annotation_cache.drop_where_item(
+            annotation_affected
+        )
+        handle.last_evictions = (plans, annotations)
+
+    # -- incremental mutation (repro.live) -----------------------------------
+
+    def live(self, name: Optional[str] = None) -> LiveGraph:
+        """The :class:`LiveGraph` registered under ``name``.
+
+        Raises :class:`~repro.exceptions.QueryError` when the entry is
+        a plain immutable :class:`Graph` (call :meth:`mutate` once, or
+        register a ``LiveGraph``, to make it mutable).
+        """
+        graph = self._handle(name).graph
+        if not isinstance(graph, LiveGraph):
+            raise QueryError(
+                f"graph {name or 'default'!r} is immutable; register a "
+                "LiveGraph or call mutate() to promote it"
+            )
+        return graph
+
+    def mutate(
+        self,
+        name_or_ops,
+        ops: Optional[Sequence] = None,
+        *,
+        compact: Any = "auto",
+    ) -> MutationResult:
+        """Apply a mutation batch with fine-grained cache invalidation.
+
+        Call as ``mutate(ops)`` (sole-graph databases) or
+        ``mutate(name, ops)``.  ``ops`` is a sequence of
+        :mod:`repro.live.delta` op objects and/or their wire-form
+        dictionaries (``{"op": "add_edge", ...}``).
+
+        A plain immutable graph is *promoted* to a
+        :class:`~repro.live.live_graph.LiveGraph` in place on first
+        mutation — a version bump, so that first call purges the
+        graph's cached artifacts wholesale.  Every later batch evicts
+        **only** the cached plans and annotations whose label
+        footprint intersects the batch's labels: writes on unrelated
+        labels keep the annotation cache warm (the no-reindexing
+        invariant of :mod:`repro.live` is what makes the retained
+        entries remain valid).
+
+        ``compact`` — ``"auto"`` (default) compacts the overlay when
+        its :attr:`~repro.live.live_graph.LiveGraph.delta_ratio`
+        crosses the graph's threshold, ``True`` forces it, ``False``
+        suppresses it.  Compaction renumbers edge ids, so it also
+        bumps the version and purges the graph's entries (and
+        invalidates outstanding cursors).
+
+        Concurrency model: mutations are atomic per batch, but reads
+        racing a batch on other threads are **not** isolated — a query
+        mid-flight while ``mutate`` commits may capture flat views
+        from both epochs (the hot loops read several array properties,
+        each materialized independently), and an annotation *build*
+        racing the batch may land in the cache after the eviction
+        pass.  The sanctioned concurrent usage is the service's
+        barrier batches (reads before a mutation finish first) or any
+        other external read/write serialization; a compaction
+        additionally invalidates outstanding pagination cursors, which
+        clients must discard — the cursor shape checks catch most
+        stale resumes as :class:`~repro.exceptions.QueryError`, but a
+        renumbered cursor that happens to stay shape-valid is not
+        detected.
+        """
+        if ops is None:
+            name, op_seq = None, name_or_ops
+        else:
+            name, op_seq = name_or_ops, ops
+        # Accept the JSONL wire vocabulary as aliases so Python
+        # callers can copy documented request values verbatim; reject
+        # anything else rather than silently never compacting.
+        if compact == "always":
+            compact = True
+        elif compact == "never":
+            compact = False
+        if not (compact is True or compact is False or compact == "auto"):
+            raise QueryError(
+                f"compact must be True/False/'auto' (or the wire "
+                f"aliases 'always'/'never'), got {compact!r}"
+            )
+        parsed: List[Delta] = [
+            op if not isinstance(op, dict) else ops_from_dicts([op])[0]
+            for op in op_seq
+        ]
+        handle = self._handle(name)
+        promoted = False
+        if not isinstance(handle.graph, LiveGraph):
+            live = LiveGraph(handle.graph)
+            # Promotion is re-registration: version bump + full purge.
+            # (Cached plans hold a CompiledQuery whose graph identity
+            # is the old immutable object — they cannot be reused.)
+            self.register(handle.name, live, warm=False)
+            handle = self._handle(handle.name)
+            promoted = True
+        live = handle.graph
+        graph_name = handle.name
+        # The registered feed subscriber (:meth:`_on_mutation`) evicts
+        # synchronously inside apply() and records the counts.
+        batch = live.apply(parsed)
+        evicted_plans, evicted_annotations = handle.last_evictions
+
+        compacted = False
+        if compact is True or (
+            compact == "auto"
+            and live.delta_ratio >= live.compact_threshold
+        ):
+            # The compaction receipt routes through the change feed:
+            # _on_mutation answers with the version-bump purge and
+            # re-registration, exactly as for a direct compact() call.
+            live.compact()
+            live.warm_indexes()
+            handle = self._handle(graph_name)
+            compacted = True
+
+        return MutationResult(
+            batch=batch,
+            version=handle.version,
+            promoted=promoted,
+            compacted=compacted,
+            evicted_plans=evicted_plans,
+            evicted_annotations=evicted_annotations,
+        )
 
     def version(self, name: str) -> int:
         """Current version of a registered graph."""
@@ -323,7 +570,12 @@ class Database:
             build_s = time.perf_counter() - t0
             with self._build_lock:
                 self._plan_build_s += build_s
-            return _Plan(rpq=rpq_obj, compiled=cq, build_s=build_s)
+            return _Plan(
+                rpq=rpq_obj,
+                compiled=cq,
+                build_s=build_s,
+                footprint=query_label_footprint(rpq_obj.automaton),
+            )
 
         return self._plan_cache.get_or_create(key, build), hit
 

@@ -10,6 +10,7 @@ Usage (also available as ``python -m repro``)::
     python -m repro plan    GRAPH "(a | b)* c"
     python -m repro stats   GRAPH
     python -m repro batch   GRAPH requests.jsonl --workers 4 --stats
+    python -m repro mutate  GRAPH ops.jsonl --save updated.json
 
 ``GRAPH`` is a path to either a JSON database (``save_json``) or the
 line-based edge-list format::
@@ -21,7 +22,15 @@ line-based edge-list format::
 :mod:`repro.service.requests`) through a cached
 :class:`~repro.service.QueryService` and prints one JSON response per
 line; per-request problems become ``"status": "error"`` response lines
-rather than aborting the batch.
+rather than aborting the batch.  A batch line with a ``"mutate"`` key
+is a write barrier applied to the (live) graph between the
+surrounding queries.
+
+``mutate`` applies a JSONL file of mutation ops (one op object per
+line, see :mod:`repro.live.delta`) to the graph as a single batch
+over a :class:`~repro.live.LiveGraph` overlay, prints the batch
+receipt as JSON, and with ``--save`` writes the compacted result back
+to a graph JSON file.
 
 Exit codes: 0 = answers found / info printed, 1 = no matching walk
 (for ``batch``: at least one request errored), 2 = input error (bad
@@ -239,6 +248,38 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 1 if any(r.status == "error" for r in responses) else 0
 
 
+def _cmd_mutate(args: argparse.Namespace) -> int:
+    """Apply a JSONL file of mutation ops as one live-graph batch."""
+    import json
+
+    from repro.graph.io import save_json
+    from repro.live import LiveGraph, op_from_dict
+    from repro.service.requests import iter_jsonl
+
+    graph = _load_graph(args.graph)
+    ops_path = Path(args.ops)
+    if not ops_path.exists():
+        raise ReproError(f"ops file not found: {args.ops}")
+    ops = []
+    with ops_path.open("r", encoding="utf-8") as fh:
+        for lineno, payload in iter_jsonl(fh):
+            try:
+                ops.append(op_from_dict(payload))
+            except ReproError as exc:
+                raise ReproError(f"line {lineno}: {exc}") from None
+    if not ops:
+        raise ReproError(f"no mutation ops found in {args.ops}")
+
+    live = LiveGraph(graph)
+    batch = live.apply(ops)
+    payload = {**batch.summary(), **live.stats()}
+    if args.save:
+        save_json(live.compact(), args.save)
+        payload["saved"] = args.save
+    print(json.dumps(payload, indent=2))
+    return 0
+
+
 def _cmd_plan(args: argparse.Namespace) -> int:
     graph = _load_graph(args.graph)
     query = rpq(args.expression, method=args.construction)
@@ -383,6 +424,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="print service statistics (cache hit rates, timings) to stderr",
     )
     batch.set_defaults(func=_cmd_batch)
+
+    mutate = sub.add_parser(
+        "mutate",
+        help="apply a JSONL file of mutation ops as one live batch",
+    )
+    mutate.add_argument("graph", help="graph file (.json or edge list)")
+    mutate.add_argument(
+        "ops",
+        help='JSONL file of ops, e.g. {"op": "add_edge", "src": "A", '
+        '"tgt": "B", "labels": ["h"]}',
+    )
+    mutate.add_argument(
+        "--save",
+        default=None,
+        metavar="OUT.json",
+        help="compact the overlay and write the resulting graph JSON",
+    )
+    mutate.set_defaults(func=_cmd_mutate)
 
     plan = sub.add_parser("plan", help="explain the chosen algorithm")
     plan.add_argument("graph")

@@ -93,7 +93,17 @@ class Annotation:
         walk from the source to ``t``; ``S_t`` the final states reached
         at that length.  Only meaningful on saturated annotations or
         for the annotation's own target.
+
+        ``t`` may exceed the vertex range this annotation was built
+        over: live graphs (:mod:`repro.live`) grow, and a cached
+        annotation whose query fires on no mutated label stays valid —
+        a vertex added later is then provably unreachable for it (any
+        edge into the new vertex carries only labels the query cannot
+        fire on, else the entry would have been evicted), so the
+        answer is the usual "no matching walk".
         """
+        if not 0 <= t < len(self.L):
+            return None, frozenset()
         if t == self.source and (self.initial_closure & self.final):
             return 0, frozenset(self.initial_closure & self.final)
         reached = [

@@ -122,7 +122,10 @@ def trim(graph: Graph, annotation: Annotation) -> TrimmedAnnotation:
     """
     in_array = graph.in_array
     queues: List[Dict[int, RestartableQueue]] = []
-    for u in graph.vertices():
+    # Iterate the annotation's own vertex range, not the graph's: on a
+    # live graph a cached annotation may predate later-added vertices
+    # (which it provably cannot reach — see Annotation.target_info).
+    for u in range(len(annotation.B)):
         in_list = in_array[u]
         per_state: Dict[int, RestartableQueue] = {}
         for p, cells in annotation.B[u].items():
@@ -168,7 +171,10 @@ class ResumableAnnotation:
 def resumable_trim(graph: Graph, annotation: Annotation) -> ResumableAnnotation:
     """Build the ``ResumableTrim`` structure from an annotation."""
     index: List[Dict[int, ResumableIndex]] = []
-    for u in graph.vertices():
+    # Same vertex-range note as in :func:`trim` — ``ResumableTrim`` is
+    # built lazily, possibly epochs after the annotation, so the graph
+    # may meanwhile have grown vertices the annotation cannot reach.
+    for u in range(len(annotation.B)):
         in_degree = graph.in_degree(u)
         per_state: Dict[int, ResumableIndex] = {}
         for p, cells in annotation.B[u].items():

@@ -1,0 +1,93 @@
+"""``repro.live`` — incremental graph mutations over the frozen engine.
+
+The paper's engine (and everything built on it through PR-3) assumes a
+frozen database: :class:`~repro.graph.database.Graph` is immutable,
+any change means a full :class:`~repro.graph.builder.GraphBuilder`
+rebuild, and re-registering bumps a version that evicts *every* cached
+plan and saturated annotation.  This subpackage opens the read-write
+workload dimension without giving up the cached read path.
+
+Architecture
+------------
+
+**Delta-overlay CSR** (:class:`~repro.live.live_graph.LiveGraph`).  A
+mutable overlay over an immutable CSR base: ``add_edge`` /
+``remove_edge`` / ``add_vertex`` / ``set_edge_labels`` are logged
+:mod:`~repro.live.delta` ops applied in atomic batches.  Reads merge
+the base and the overlay — point accessors iterate the base CSR
+bucket (filtering tombstones and label overrides) plus a per-label
+delta adjacency; the flat-array views the product-BFS hot loops
+consume (``out_csr``, ``tgt_idx_array`` …) are counting-sorted over
+the live edge set lazily, once per mutation *epoch*.  The overlay
+honours the full :class:`~repro.graph.database.Graph` accessor
+contract, so ``annotate``, ``cheapest_annotate``, the enumerators and
+the counting DP run on a ``LiveGraph`` unmodified (a shared contract
+test in ``tests/graph/test_accessor_contract.py`` is parametrized over
+both classes to keep it that way).
+
+**The no-reindexing invariant.**  Between compactions, vertex ids,
+label ids and edge ids are append-only and the ``TgtIdx`` of an
+existing edge never changes: tombstoned edges keep their slot inside
+``In(v)`` and label edits rewrite the label set in place.  This is
+what makes *fine-grained* cache invalidation sound — a cached
+saturated annotation addresses predecessor cells positionally by
+``TgtIdx``, so an annotation whose automaton cannot fire on any label
+a batch touched is still byte-for-byte valid afterwards and is **kept
+warm** instead of evicted.  :meth:`repro.api.Database.mutate` evicts
+only the entries whose label footprint
+(:func:`~repro.live.live_graph.query_label_footprint`) intersects the
+batch's ``touched_labels`` (plans: only ``new_labels`` — compilation
+drops transitions on labels absent from the alphabet it saw, and
+wildcards expand over that alphabet).
+
+**Epoch-based compaction.**  When the overlay's
+:attr:`~repro.live.live_graph.LiveGraph.delta_ratio` (overlay edges +
+tombstones + label overrides, relative to the base) crosses a
+threshold, :meth:`~repro.live.live_graph.LiveGraph.compact`
+counting-sort-merges the live edge set into a fresh immutable base.
+Edge ids renumber as tombstone slots close up, so compaction is the
+one mutation that pairs with a full version bump (all cached
+artifacts and outstanding cursors of the graph drop); vertex and
+label interning carries over unchanged.
+
+**Change feed** (:meth:`~repro.live.live_graph.LiveGraph.subscribe`).
+Every applied batch notifies subscribers with its
+:class:`~repro.live.delta.MutationBatch` receipt;
+:class:`~repro.live.standing.StandingQuery` uses it to keep one query
+current while *skipping* refreshes for batches whose labels are
+disjoint from its footprint.
+
+Entry points: ``Database.mutate(ops)`` (the cached serving path), the
+JSONL ``{"mutate": [...]}`` request of :mod:`repro.service`, the CLI
+``repro mutate`` subcommand, and direct ``LiveGraph`` use for
+engine-level code.
+"""
+
+from repro.live.delta import (
+    AddEdge,
+    AddVertex,
+    Delta,
+    MutationBatch,
+    RemoveEdge,
+    SetEdgeLabels,
+    op_from_dict,
+    op_to_dict,
+    ops_from_dicts,
+)
+from repro.live.live_graph import LiveGraph, query_label_footprint
+from repro.live.standing import StandingQuery
+
+__all__ = [
+    "AddEdge",
+    "AddVertex",
+    "Delta",
+    "LiveGraph",
+    "MutationBatch",
+    "RemoveEdge",
+    "SetEdgeLabels",
+    "StandingQuery",
+    "op_from_dict",
+    "op_to_dict",
+    "ops_from_dicts",
+    "query_label_footprint",
+]

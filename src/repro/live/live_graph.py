@@ -1,0 +1,1069 @@
+""":class:`LiveGraph` — a mutable delta overlay over an immutable CSR base.
+
+See :mod:`repro.live` for the architecture overview.  The class
+implements the full :class:`~repro.graph.database.Graph` accessor
+contract (``In``/``Out``/``Src``/``Tgt``/``Lbl``/``TgtIdx``, the
+label-indexed ``out_by_label``/``in_by_label`` buckets and the raw
+flat-array views the product-BFS hot loops consume), so ``annotate``,
+``cheapest_annotate``, the enumerators and the counting DP all run on
+a ``LiveGraph`` unmodified.
+
+Two read paths coexist:
+
+* **merged point reads** (``out_edges``, ``in_edges``,
+  ``out_by_label``, ``in_by_label``, ``out_labels`` …) iterate the
+  base CSR bucket — filtering tombstones and label overrides — and
+  splice in the per-label delta adjacency.  O(answer) per call, always
+  current, no materialization;
+* **epoch-lazy flat views** (``out_csr``, ``in_csr``, ``src_array``,
+  ``tgt_idx_array`` …) are counting-sorted over the live edge set on
+  first use after a mutation batch and cached for the rest of the
+  epoch.  One query after a batch pays the O(|D|) build; every other
+  query in the epoch reads plain arrays at immutable-graph speed.
+
+The **no-reindexing invariant** (load-bearing — see :mod:`repro.live`):
+between compactions, vertex ids, label ids and edge ids are
+append-only, and the ``TgtIdx`` of an existing edge never changes.
+Tombstoned edges keep their slot in ``In(v)`` (they simply never carry
+annotation cells), and label edits rewrite the label set in place.
+Cached annotations therefore remain *positionally* valid across
+batches, and fine-grained invalidation only has to reason about label
+footprints, never about renumbering.
+
+:meth:`compact` merges the overlay into a fresh immutable
+:class:`Graph` — edge ids are renumbered (tombstone slots close up),
+so compaction is the one operation after which every cached artifact
+and cursor of this graph must be dropped
+(:meth:`repro.api.Database.mutate` handles that with a version bump).
+"""
+
+from __future__ import annotations
+
+import threading
+from array import array
+from bisect import insort
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.exceptions import (
+    CostError,
+    GraphError,
+    UnknownEdgeError,
+    UnknownLabelError,
+    UnknownVertexError,
+)
+from repro.graph.database import CsrIndex, Graph
+from repro.live.delta import (
+    AddEdge,
+    AddVertex,
+    Delta,
+    MutationBatch,
+    RemoveEdge,
+    SetEdgeLabels,
+)
+
+#: A subscriber receives the receipt of every applied batch.
+Subscriber = Callable[[MutationBatch], None]
+
+
+class _View:
+    """One epoch's materialized flat-array views (immutable once built)."""
+
+    __slots__ = (
+        "src_array",
+        "tgt_array",
+        "label_array",
+        "cost_array",
+        "out_array",
+        "in_array",
+        "tgt_idx_array",
+        "out_csr",
+        "in_csr",
+        "out_label_tuples",
+        "in_label_tuples",
+    )
+
+
+class LiveGraph:
+    """A mutable multi-labeled multi-edge graph: immutable base + overlay.
+
+    >>> from repro.graph import GraphBuilder
+    >>> b = GraphBuilder()
+    >>> _ = b.add_edge("Alix", "Dan", ["h", "s"])
+    >>> live = LiveGraph(b.build())
+    >>> _ = live.add_edge("Dan", "Bob", ["h"])
+    >>> live.vertex_count, live.live_edge_count
+    (3, 2)
+    >>> _ = live.remove_edge(0)
+    >>> live.live_edge_count
+    1
+    """
+
+    def __init__(
+        self,
+        base: Optional[Graph] = None,
+        *,
+        compact_threshold: float = 0.5,
+    ) -> None:
+        if base is None:
+            base = Graph(
+                vertex_names=(), label_names=(), src=(), tgt=(), labels=()
+            )
+        if not 0.0 < compact_threshold:
+            raise GraphError("compact_threshold must be positive")
+        self._base = base
+        self.compact_threshold = compact_threshold
+        self._lock = threading.RLock()
+        self._epoch = 0
+        self._compactions = 0
+        self._subscribers: List[Subscriber] = []
+        self._reset_overlay()
+
+    def _reset_overlay(self) -> None:
+        base = self._base
+        # Interning overlays (append-only; base ids stay authoritative).
+        self._new_vertex_names: List[Hashable] = []
+        self._new_vertex_ids: Dict[Hashable, int] = {}
+        self._new_label_names: List[str] = []
+        self._new_label_ids: Dict[str, int] = {}
+        # Overlay edges occupy ids >= base.edge_count, in apply order.
+        self._o_src: List[int] = []
+        self._o_tgt: List[int] = []
+        self._o_labels: List[Tuple[int, ...]] = []
+        self._o_costs: List[int] = []
+        self._o_any_cost = False
+        self._o_tgt_idx: List[int] = []
+        # Tombstones and in-place label overrides (base or overlay ids).
+        self._removed: Set[int] = set()
+        self._label_override: Dict[int, Tuple[int, ...]] = {}
+        # Per-vertex overlay adjacency, in apply order (incl. tombstoned
+        # overlay edges — In positions must never shift).
+        self._o_out: Dict[int, List[int]] = {}
+        self._o_in: Dict[int, List[int]] = {}
+        # Per-(label, vertex) delta buckets: live edges that carry the
+        # label *now* but are absent from the base CSR bucket — overlay
+        # edges plus base edges whose override added the label.
+        self._d_out: Dict[Tuple[int, int], List[int]] = {}
+        self._d_in: Dict[Tuple[int, int], List[int]] = {}
+        self._view: Optional[_View] = None
+
+    # -- global counts ----------------------------------------------------
+
+    @property
+    def base(self) -> Graph:
+        """The current immutable base (replaced by :meth:`compact`)."""
+        return self._base
+
+    @property
+    def epoch(self) -> int:
+        """Number of mutation batches applied (compaction included)."""
+        return self._epoch
+
+    @property
+    def compactions(self) -> int:
+        """Number of :meth:`compact` runs over this graph's lifetime."""
+        return self._compactions
+
+    @property
+    def vertex_count(self) -> int:
+        """|V| (base + overlay)."""
+        return self._base.vertex_count + len(self._new_vertex_names)
+
+    @property
+    def edge_count(self) -> int:
+        """Size of the edge-*id* space, tombstones included.
+
+        Edge ids are append-only between compactions, so this is
+        ``base.edge_count + overlay edges``; use
+        :attr:`live_edge_count` for the number of traversable edges.
+        """
+        return self._base.edge_count + len(self._o_src)
+
+    @property
+    def live_edge_count(self) -> int:
+        """Number of non-tombstoned edges."""
+        return self.edge_count - len(self._removed)
+
+    @property
+    def label_count(self) -> int:
+        """|Σ| (base + overlay; labels are never removed)."""
+        return self._base.label_count + len(self._new_label_names)
+
+    def size(self) -> int:
+        """The paper's ``|D|`` over the *live* edge set."""
+        return (
+            self.vertex_count
+            + self.live_edge_count
+            + sum(len(self.labels(e)) for e in self.live_edges())
+        )
+
+    @property
+    def total_label_occurrences(self) -> int:
+        """``Σ_e |Lbl(e)|`` over live edges."""
+        return sum(len(self.labels(e)) for e in self.live_edges())
+
+    @property
+    def delta_ratio(self) -> float:
+        """Overlay weight relative to the base: the compaction signal.
+
+        Counts overlay edges, tombstones and label overrides against
+        ``max(1, base.edge_count)``.  :meth:`repro.api.Database.mutate`
+        compacts when this crosses :attr:`compact_threshold`.
+        """
+        weight = (
+            len(self._o_src) + len(self._removed) + len(self._label_override)
+        )
+        return weight / max(1, self._base.edge_count)
+
+    # -- vertices -----------------------------------------------------------
+
+    def vertices(self) -> range:
+        """All vertex ids."""
+        return range(self.vertex_count)
+
+    def vertex_id(self, name: Hashable) -> int:
+        """Translate a vertex name to its internal id."""
+        vid = self._base._vertex_ids.get(name)
+        if vid is None:
+            vid = self._new_vertex_ids.get(name)
+        if vid is None:
+            raise UnknownVertexError(name)
+        return vid
+
+    def vertex_name(self, v: int) -> Hashable:
+        """Translate an internal vertex id to its name."""
+        base_n = self._base.vertex_count
+        if 0 <= v < base_n:
+            return self._base.vertex_name(v)
+        if base_n <= v < self.vertex_count:
+            return self._new_vertex_names[v - base_n]
+        raise UnknownVertexError(v)
+
+    def has_vertex(self, name: Hashable) -> bool:
+        """True when a vertex called ``name`` exists."""
+        return (
+            name in self._base._vertex_ids or name in self._new_vertex_ids
+        )
+
+    def resolve_vertex(self, vertex: Hashable) -> int:
+        """Name-or-id resolution, same semantics as :class:`Graph`."""
+        if self.has_vertex(vertex):
+            return self.vertex_id(vertex)
+        if isinstance(vertex, int) and 0 <= vertex < self.vertex_count:
+            return vertex
+        raise UnknownVertexError(vertex)
+
+    # -- labels ---------------------------------------------------------------
+
+    def label_id(self, name: str) -> int:
+        """Translate a label name to its internal id."""
+        lid = self._base._label_ids.get(name)
+        if lid is None:
+            lid = self._new_label_ids.get(name)
+        if lid is None:
+            raise UnknownLabelError(name)
+        return lid
+
+    def label_name(self, a: int) -> str:
+        """Translate an internal label id to its name."""
+        base_k = self._base.label_count
+        if 0 <= a < base_k:
+            return self._base.label_name(a)
+        if base_k <= a < self.label_count:
+            return self._new_label_names[a - base_k]
+        raise UnknownLabelError(a)
+
+    def has_label(self, name: str) -> bool:
+        """True when ``name`` is in the label universe (never shrinks)."""
+        return name in self._base._label_ids or name in self._new_label_ids
+
+    @property
+    def alphabet(self) -> Tuple[str, ...]:
+        """All label names, indexed by label id."""
+        return self._base.alphabet + tuple(self._new_label_names)
+
+    # -- edges -----------------------------------------------------------------
+
+    def edges(self) -> range:
+        """All edge *ids*, tombstones included (see :meth:`live_edges`)."""
+        return range(self.edge_count)
+
+    def live_edges(self) -> Iterator[int]:
+        """Edge ids that are currently traversable."""
+        removed = self._removed
+        if not removed:
+            yield from range(self.edge_count)
+            return
+        for e in range(self.edge_count):
+            if e not in removed:
+                yield e
+
+    def is_live(self, e: int) -> bool:
+        """True when ``e`` exists and is not tombstoned."""
+        return 0 <= e < self.edge_count and e not in self._removed
+
+    def _check_edge(self, e: int) -> None:
+        if not 0 <= e < self.edge_count:
+            raise UnknownEdgeError(e)
+
+    def src(self, e: int) -> int:
+        """``Src(e)`` (answers for tombstoned ids too — slots persist)."""
+        self._check_edge(e)
+        base_m = self._base.edge_count
+        return (
+            self._base._src[e] if e < base_m else self._o_src[e - base_m]
+        )
+
+    def tgt(self, e: int) -> int:
+        """``Tgt(e)``."""
+        self._check_edge(e)
+        base_m = self._base.edge_count
+        return (
+            self._base._tgt[e] if e < base_m else self._o_tgt[e - base_m]
+        )
+
+    def labels(self, e: int) -> Tuple[int, ...]:
+        """``Lbl(e)`` as sorted label ids (overrides applied)."""
+        self._check_edge(e)
+        override = self._label_override.get(e)
+        if override is not None:
+            return override
+        base_m = self._base.edge_count
+        return (
+            self._base._labels[e]
+            if e < base_m
+            else self._o_labels[e - base_m]
+        )
+
+    def label_names_of(self, e: int) -> Tuple[str, ...]:
+        """``Lbl(e)`` as label names."""
+        return tuple(self.label_name(a) for a in self.labels(e))
+
+    def tgt_idx(self, e: int) -> int:
+        """``TgtIdx(e)`` — stable for the lifetime of the overlay."""
+        self._check_edge(e)
+        base_m = self._base.edge_count
+        return (
+            self._base._tgt_idx[e]
+            if e < base_m
+            else self._o_tgt_idx[e - base_m]
+        )
+
+    def cost(self, e: int) -> int:
+        """Cost of edge ``e`` (1 when no cost was ever provided)."""
+        self._check_edge(e)
+        base_m = self._base.edge_count
+        return (
+            self._base.cost(e) if e < base_m else self._o_costs[e - base_m]
+        )
+
+    @property
+    def has_costs(self) -> bool:
+        """True when the base or any overlay edge carries a cost."""
+        return self._base.has_costs or self._o_any_cost
+
+    # -- merged point reads -----------------------------------------------------
+
+    def out_edges(self, v: int) -> Tuple[int, ...]:
+        """``Out(v)`` — live edges leaving ``v``, ascending edge id."""
+        if not 0 <= v < self.vertex_count:
+            raise UnknownVertexError(v)
+        removed = self._removed
+        base: Sequence[int] = (
+            self._base._out[v] if v < self._base.vertex_count else ()
+        )
+        overlay = self._o_out.get(v, ())
+        if not removed:
+            return tuple(base) + tuple(overlay)
+        return tuple(e for e in base if e not in removed) + tuple(
+            e for e in overlay if e not in removed
+        )
+
+    def in_edges(self, v: int) -> Tuple[int, ...]:
+        """``In(v)`` with position = ``TgtIdx`` — tombstones keep slots.
+
+        Unlike :meth:`out_edges`, removed edges stay *in place*: the
+        positional ``TgtIdx`` contract (and with it every cached
+        annotation's ``B``-cell addressing) must survive mutations.
+        Callers that want live in-edges only should filter with
+        :meth:`is_live`.
+        """
+        if not 0 <= v < self.vertex_count:
+            raise UnknownVertexError(v)
+        base: Sequence[int] = (
+            self._base._in[v] if v < self._base.vertex_count else ()
+        )
+        return tuple(base) + tuple(self._o_in.get(v, ()))
+
+    def out_degree(self, v: int) -> int:
+        """``OutDeg(v)`` over live edges."""
+        return len(self.out_edges(v))
+
+    def in_degree(self, v: int) -> int:
+        """Size of the ``In(v)`` slot range (tombstone slots included)."""
+        base_deg = (
+            self._base.in_degree(v)
+            if v < self._base.vertex_count
+            else 0
+        )
+        if not 0 <= v < self.vertex_count:
+            raise UnknownVertexError(v)
+        return base_deg + len(self._o_in.get(v, ()))
+
+    def max_in_degree(self) -> int:
+        """Largest ``In`` slot range (diagnostic, as on :class:`Graph`)."""
+        return max(
+            (self.in_degree(v) for v in self.vertices()), default=0
+        )
+
+    def _bucket_live(self, e: int, a: int, base_csr: bool) -> bool:
+        """Does edge ``e`` still belong to base CSR bucket ``a``?"""
+        if e in self._removed:
+            return False
+        if base_csr:
+            override = self._label_override.get(e)
+            if override is not None and a not in override:
+                return False
+        return True
+
+    def out_by_label(self, v: int, a: int) -> Tuple[int, ...]:
+        """``Out_a(v)`` — merged iteration, no materialization."""
+        return self._by_label(v, a, out=True)
+
+    def in_by_label(self, v: int, a: int) -> Tuple[int, ...]:
+        """``In_a(v)`` — merged iteration, no materialization."""
+        return self._by_label(v, a, out=False)
+
+    def _by_label(self, v: int, a: int, out: bool) -> Tuple[int, ...]:
+        if not 0 <= v < self.vertex_count:
+            raise UnknownVertexError(v)
+        if not 0 <= a < self.label_count:
+            raise UnknownLabelError(a)
+        base = self._base
+        merged: List[int] = []
+        if v < base.vertex_count and a < base.label_count:
+            indptr, payload = base.out_csr if out else base.in_csr
+            b = a * base.vertex_count + v
+            for j in range(indptr[b], indptr[b + 1]):
+                e = payload[j]
+                if self._bucket_live(e, a, base_csr=True):
+                    merged.append(e)
+        delta = (self._d_out if out else self._d_in).get((a, v))
+        if delta:
+            extra = [e for e in delta if e not in self._removed]
+            if merged and extra and extra[0] < merged[-1]:
+                # Overridden-in base edges can interleave with base ids.
+                merged = sorted(merged + extra)
+            else:
+                merged.extend(extra)
+        return tuple(merged)
+
+    def out_labels(self, v: int) -> Tuple[int, ...]:
+        """Distinct label ids on live ``Out(v)``, ascending."""
+        return tuple(
+            sorted({a for e in self.out_edges(v) for a in self.labels(e)})
+        )
+
+    def in_labels(self, v: int) -> Tuple[int, ...]:
+        """Distinct label ids on live ``In(v)``, ascending."""
+        return tuple(
+            sorted(
+                {
+                    a
+                    for e in self.in_edges(v)
+                    if e not in self._removed
+                    for a in self.labels(e)
+                }
+            )
+        )
+
+    def parallel_edges(self, u: int, v: int) -> List[int]:
+        """All live edge ids from ``u`` to ``v``."""
+        return [e for e in self.out_edges(u) if self.tgt(e) == v]
+
+    # -- epoch-lazy flat views (the hot-loop contract) -------------------------
+
+    def warm_indexes(self) -> "LiveGraph":
+        """Force-build this epoch's flat views now (idempotent)."""
+        self._materialized()
+        return self
+
+    def _materialized(self) -> _View:
+        view = self._view
+        if view is None:
+            with self._lock:
+                view = self._view
+                if view is None:
+                    view = self._build_view()
+                    self._view = view
+        return view
+
+    def _build_view(self) -> _View:
+        base = self._base
+        n = self.vertex_count
+        base_n = base.vertex_count
+        base_m = base.edge_count
+        view = _View()
+
+        view.src_array = base._src + tuple(self._o_src)
+        view.tgt_array = base._tgt + tuple(self._o_tgt)
+        if self._label_override:
+            labels = list(base._labels) + self._o_labels
+            for e, ls in self._label_override.items():
+                labels[e] = ls
+            view.label_array = tuple(labels)
+        else:
+            view.label_array = base._labels + tuple(self._o_labels)
+        if self.has_costs:
+            view.cost_array = base.cost_array + tuple(self._o_costs)
+        else:
+            view.cost_array = tuple([1] * self.edge_count)
+
+        removed = self._removed
+        out_lists: List[Tuple[int, ...]] = []
+        in_lists: List[Tuple[int, ...]] = []
+        for v in range(n):
+            base_out: Sequence[int] = base._out[v] if v < base_n else ()
+            base_in: Sequence[int] = base._in[v] if v < base_n else ()
+            if removed:
+                base_out = [e for e in base_out if e not in removed]
+                o_out = [
+                    e for e in self._o_out.get(v, ()) if e not in removed
+                ]
+            else:
+                o_out = self._o_out.get(v, [])
+            out_lists.append(tuple(base_out) + tuple(o_out))
+            # In-lists keep tombstones in place: position = TgtIdx.
+            in_lists.append(tuple(base_in) + tuple(self._o_in.get(v, ())))
+        view.out_array = tuple(out_lists)
+        view.in_array = tuple(in_lists)
+        view.tgt_idx_array = base._tgt_idx + tuple(self._o_tgt_idx)
+
+        view.out_csr = self._csr_from_live(view, endpoint_src=True)
+        view.in_csr = self._csr_from_live(view, endpoint_src=False)
+        view.out_label_tuples = self._label_tuples_from(view.out_csr)
+        view.in_label_tuples = self._label_tuples_from(view.in_csr)
+
+        # Defensive self-check of the overlay bookkeeping: every live
+        # edge must sit at its recorded TgtIdx slot (cheap: O(overlay)).
+        for e in range(base_m, self.edge_count):
+            ti = view.tgt_idx_array[e]
+            assert view.in_array[view.tgt_array[e]][ti] == e
+        return view
+
+    def _csr_from_live(self, view: _View, endpoint_src: bool) -> CsrIndex:
+        """Counting-sort the live (edge, label) incidences, as the base does."""
+        n = self.vertex_count
+        n_buckets = self.label_count * n
+        endpoint = view.src_array if endpoint_src else view.tgt_array
+        label_arr = view.label_array
+        removed = self._removed
+        counts = [0] * (n_buckets + 1)
+        for e in self.live_edges():
+            v = endpoint[e]
+            for a in label_arr[e]:
+                counts[a * n + v + 1] += 1
+        for b in range(1, n_buckets + 1):
+            counts[b] += counts[b - 1]
+        indptr = array("q", counts)
+        payload = array("q", bytes(8 * counts[n_buckets]))
+        cursor = counts[:-1]
+        if removed:
+            edge_iter: Iterator[int] = (
+                e for e in range(self.edge_count) if e not in removed
+            )
+        else:
+            edge_iter = iter(range(self.edge_count))
+        for e in edge_iter:
+            v = endpoint[e]
+            for a in label_arr[e]:
+                b = a * n + v
+                payload[cursor[b]] = e
+                cursor[b] += 1
+        return indptr, payload
+
+    def _label_tuples_from(
+        self, csr: CsrIndex
+    ) -> Tuple[Tuple[int, ...], ...]:
+        n = self.vertex_count
+        indptr, _ = csr
+        present: List[List[int]] = [[] for _ in range(n)]
+        for a in range(self.label_count):
+            base_b = a * n
+            for v in range(n):
+                if indptr[base_b + v] < indptr[base_b + v + 1]:
+                    present[v].append(a)
+        return tuple(tuple(ls) for ls in present)
+
+    @property
+    def out_csr(self) -> CsrIndex:
+        """This epoch's live out-CSR (hot path; see :class:`Graph`)."""
+        return self._materialized().out_csr
+
+    @property
+    def in_csr(self) -> CsrIndex:
+        """This epoch's live in-CSR (hot path)."""
+        return self._materialized().in_csr
+
+    @property
+    def out_labels_array(self) -> Tuple[Tuple[int, ...], ...]:
+        """Vertex-id-indexed distinct out-label tuples (hot path)."""
+        return self._materialized().out_label_tuples
+
+    @property
+    def in_labels_array(self) -> Tuple[Tuple[int, ...], ...]:
+        """Vertex-id-indexed distinct in-label tuples (hot path)."""
+        return self._materialized().in_label_tuples
+
+    @property
+    def src_array(self) -> Tuple[int, ...]:
+        """Edge-id-indexed sources (tombstone slots included)."""
+        return self._materialized().src_array
+
+    @property
+    def tgt_array(self) -> Tuple[int, ...]:
+        """Edge-id-indexed targets (tombstone slots included)."""
+        return self._materialized().tgt_array
+
+    @property
+    def label_array(self) -> Tuple[Tuple[int, ...], ...]:
+        """Edge-id-indexed label tuples, overrides applied."""
+        return self._materialized().label_array
+
+    @property
+    def out_array(self) -> Tuple[Tuple[int, ...], ...]:
+        """Vertex-id-indexed live Out lists."""
+        return self._materialized().out_array
+
+    @property
+    def in_array(self) -> Tuple[Tuple[int, ...], ...]:
+        """Vertex-id-indexed In lists; position = TgtIdx (slots keep)."""
+        return self._materialized().in_array
+
+    @property
+    def tgt_idx_array(self) -> Tuple[int, ...]:
+        """Edge-id-indexed TgtIdx values."""
+        return self._materialized().tgt_idx_array
+
+    @property
+    def cost_array(self) -> Tuple[int, ...]:
+        """Edge-id-indexed costs (unit costs when none were given)."""
+        return self._materialized().cost_array
+
+    # -- mutation -----------------------------------------------------------------
+
+    def add_vertex(self, name: Hashable) -> int:
+        """Apply a one-op :class:`AddVertex` batch; returns the id."""
+        self.apply([AddVertex(name)])
+        return self.vertex_id(name)
+
+    def add_edge(
+        self,
+        src: Hashable,
+        tgt: Hashable,
+        labels: Sequence[str],
+        cost: Optional[int] = None,
+    ) -> int:
+        """Apply a one-op :class:`AddEdge` batch; returns the edge id."""
+        # The id comes from the batch receipt (assigned under the
+        # apply lock) — reading edge_count afterwards could hand back
+        # a concurrent writer's edge.
+        return self.apply(
+            [AddEdge(src, tgt, tuple(labels), cost)]
+        ).added_edges[0]
+
+    def remove_edge(self, e: int) -> MutationBatch:
+        """Apply a one-op :class:`RemoveEdge` batch."""
+        return self.apply([RemoveEdge(e)])
+
+    def set_edge_labels(
+        self, e: int, labels: Sequence[str]
+    ) -> MutationBatch:
+        """Apply a one-op :class:`SetEdgeLabels` batch."""
+        return self.apply([SetEdgeLabels(e, tuple(labels))])
+
+    def subscribe(
+        self, fn: Subscriber, *, front: bool = False
+    ) -> Callable[[], None]:
+        """Register a change-feed callback; returns an unsubscriber.
+
+        ``fn`` is called synchronously with the
+        :class:`~repro.live.delta.MutationBatch` receipt after every
+        applied batch, and with a ``compaction=True`` receipt after
+        every :meth:`compact` (ids renumbered — rebuild id-addressed
+        state); delivery is in subscription order.  Standing queries
+        intersect a data receipt's ``touched_labels`` with their own
+        footprint and skip refreshes for unrelated writes — see
+        :class:`~repro.live.standing.StandingQuery`.
+
+        ``front=True`` prepends instead of appending — the hook for
+        *infrastructure* subscribers (the database's cache-eviction
+        pass) that must observe the batch before user-level ones, even
+        when they re-subscribe later (e.g. after a compaction
+        re-registration).
+        """
+        with self._lock:
+            if front:
+                self._subscribers.insert(0, fn)
+            else:
+                self._subscribers.append(fn)
+
+        def unsubscribe() -> None:
+            with self._lock:
+                try:
+                    self._subscribers.remove(fn)
+                except ValueError:
+                    pass
+
+        return unsubscribe
+
+    @staticmethod
+    def _check_vertex_name(name: Hashable) -> None:
+        # JSON payloads can smuggle lists/dicts into name fields; an
+        # unhashable name would only explode inside _intern_vertex,
+        # after earlier ops committed — reject it up front instead.
+        try:
+            hash(name)
+        except TypeError:
+            raise GraphError(
+                f"vertex names must be hashable, got {name!r}"
+            ) from None
+
+    def _check_ops(self, ops: Sequence[Delta]) -> None:
+        """Pre-validate a batch so apply never half-commits."""
+        pending_removed: Set[int] = set()
+        pending_edges = 0
+        for op in ops:
+            if isinstance(op, AddVertex):
+                self._check_vertex_name(op.name)
+                continue
+            if isinstance(op, AddEdge):
+                self._check_vertex_name(op.src)
+                self._check_vertex_name(op.tgt)
+                if not op.labels:
+                    raise GraphError("an edge must carry at least one label")
+                for name in op.labels:
+                    if not isinstance(name, str) or not name:
+                        raise GraphError(
+                            f"labels must be non-empty strings, got {name!r}"
+                        )
+                if op.cost is not None:
+                    if isinstance(op.cost, bool) or not isinstance(
+                        op.cost, int
+                    ):
+                        raise CostError(
+                            f"edge cost must be an int, got {op.cost!r}"
+                        )
+                    if op.cost <= 0:
+                        raise CostError(
+                            f"edge cost must be positive, got {op.cost}"
+                        )
+                pending_edges += 1
+                continue
+            if isinstance(op, (RemoveEdge, SetEdgeLabels)):
+                e = op.edge
+                if not isinstance(e, int) or isinstance(e, bool) or not (
+                    0 <= e < self.edge_count + pending_edges
+                ):
+                    raise UnknownEdgeError(e)
+                if e in self._removed or e in pending_removed:
+                    raise GraphError(
+                        f"edge {e} is already removed (tombstoned)"
+                    )
+                if isinstance(op, RemoveEdge):
+                    pending_removed.add(e)
+                else:
+                    if not op.labels:
+                        raise GraphError(
+                            "an edge must carry at least one label"
+                        )
+                    for name in op.labels:
+                        if not isinstance(name, str) or not name:
+                            raise GraphError(
+                                f"labels must be non-empty strings, "
+                                f"got {name!r}"
+                            )
+                continue
+            raise GraphError(f"unknown mutation op: {op!r}")
+
+    def _intern_vertex(self, name: Hashable) -> int:
+        vid = self._base._vertex_ids.get(name)
+        if vid is None:
+            vid = self._new_vertex_ids.get(name)
+        if vid is None:
+            vid = self.vertex_count
+            self._new_vertex_ids[name] = vid
+            self._new_vertex_names.append(name)
+        return vid
+
+    def _intern_label(self, name: str, new_names: Set[str]) -> int:
+        lid = self._base._label_ids.get(name)
+        if lid is None:
+            lid = self._new_label_ids.get(name)
+        if lid is None:
+            lid = self.label_count
+            self._new_label_ids[name] = lid
+            self._new_label_names.append(name)
+            new_names.add(name)
+        return lid
+
+    def apply(self, ops: Sequence[Delta]) -> MutationBatch:
+        """Apply one batch atomically; returns the receipt.
+
+        The batch is pre-validated in full before the first op takes
+        effect; a :class:`~repro.exceptions.GraphError` (bad edge id,
+        empty label set, non-positive cost …) leaves the graph
+        untouched.  Subscribers are notified after the commit.
+        """
+        ops = tuple(ops)
+        with self._lock:
+            self._check_ops(ops)
+            touched: Set[str] = set()
+            new_labels: Set[str] = set()
+            added_vertices: List[int] = []
+            added_edges: List[int] = []
+            removed_edges: List[int] = []
+            relabeled_edges: List[int] = []
+            for op in ops:
+                if isinstance(op, AddVertex):
+                    before = self.vertex_count
+                    vid = self._intern_vertex(op.name)
+                    if vid >= before:
+                        added_vertices.append(vid)
+                elif isinstance(op, AddEdge):
+                    before = self.vertex_count
+                    u = self._intern_vertex(op.src)
+                    v = self._intern_vertex(op.tgt)
+                    added_vertices.extend(
+                        range(before, self.vertex_count)
+                    )
+                    label_ids = tuple(
+                        sorted(
+                            {
+                                self._intern_label(name, new_labels)
+                                for name in op.labels
+                            }
+                        )
+                    )
+                    touched.update(op.labels)
+                    e = self.edge_count
+                    self._o_src.append(u)
+                    self._o_tgt.append(v)
+                    self._o_labels.append(label_ids)
+                    self._o_costs.append(
+                        op.cost if op.cost is not None else 1
+                    )
+                    if op.cost is not None:
+                        self._o_any_cost = True
+                    self._o_out.setdefault(u, []).append(e)
+                    in_list = self._o_in.setdefault(v, [])
+                    base_deg = (
+                        self._base.in_degree(v)
+                        if v < self._base.vertex_count
+                        else 0
+                    )
+                    self._o_tgt_idx.append(base_deg + len(in_list))
+                    in_list.append(e)
+                    for a in label_ids:
+                        insort(self._d_out.setdefault((a, u), []), e)
+                        insort(self._d_in.setdefault((a, v), []), e)
+                    added_edges.append(e)
+                elif isinstance(op, RemoveEdge):
+                    e = op.edge
+                    touched.update(self.label_names_of(e))
+                    self._removed.add(e)
+                    removed_edges.append(e)
+                else:  # SetEdgeLabels
+                    e = op.edge
+                    old_ids = self.labels(e)
+                    touched.update(self.label_name(a) for a in old_ids)
+                    new_ids = tuple(
+                        sorted(
+                            {
+                                self._intern_label(name, new_labels)
+                                for name in op.labels
+                            }
+                        )
+                    )
+                    touched.update(op.labels)
+                    self._relabel(e, old_ids, new_ids)
+                    relabeled_edges.append(e)
+            self._epoch += 1
+            self._view = None
+            batch = MutationBatch(
+                epoch=self._epoch,
+                ops=ops,
+                touched_labels=frozenset(touched),
+                new_labels=frozenset(new_labels),
+                added_vertices=tuple(added_vertices),
+                added_edges=tuple(added_edges),
+                removed_edges=tuple(removed_edges),
+                relabeled_edges=tuple(relabeled_edges),
+            )
+            subscribers = tuple(self._subscribers)
+        for fn in subscribers:
+            fn(batch)
+        return batch
+
+    def _relabel(
+        self, e: int, old_ids: Tuple[int, ...], new_ids: Tuple[int, ...]
+    ) -> None:
+        """Move ``e`` between delta buckets to match its new label set."""
+        base_m = self._base.edge_count
+        u, v = self.src(e), self.tgt(e)
+        if e < base_m:
+            self._label_override[e] = new_ids
+            base_ids = self._base._labels[e]
+            # Labels the base CSR carries are served (and filtered) from
+            # the base bucket; the delta bucket only holds labels *added*
+            # relative to the base.
+            gained = set(new_ids) - set(base_ids)
+            stale = (set(old_ids) - set(base_ids)) - gained
+        else:
+            self._o_labels[e - base_m] = new_ids
+            gained = set(new_ids) - set(old_ids)
+            stale = set(old_ids) - set(new_ids)
+        for a in stale:
+            for bucket in (self._d_out.get((a, u)), self._d_in.get((a, v))):
+                if bucket is not None and e in bucket:
+                    bucket.remove(e)
+        for a in gained:
+            out_bucket = self._d_out.setdefault((a, u), [])
+            if e not in out_bucket:
+                insort(out_bucket, e)
+            in_bucket = self._d_in.setdefault((a, v), [])
+            if e not in in_bucket:
+                insort(in_bucket, e)
+
+    # -- compaction ---------------------------------------------------------------
+
+    def compact(self) -> Graph:
+        """Merge the overlay into a fresh immutable base; returns it.
+
+        The live edge set is counting-sort-merged into new CSR-backed
+        :class:`Graph` arrays.  Vertex and label interning is carried
+        over unchanged (ids stable); **edge ids are renumbered** in
+        ascending old-id order as tombstone slots close up.  The
+        overlay resets and the epoch counter keeps counting.
+
+        Subscribers are notified with a receipt whose ``compaction``
+        flag is set (and no op/label details): every piece of
+        id-addressed state must be rebuilt — the database's eviction
+        subscriber answers with a full version-bump purge, and
+        :class:`~repro.live.standing.StandingQuery` re-runs
+        unconditionally (its held rows reference pre-compaction edge
+        ids).  Outstanding pagination *cursors* live client-side and
+        cannot be notified; they must be discarded.
+        """
+        with self._lock:  # RLock: to_graph re-enters safely.
+            new_graph = self.to_graph()
+            self._base = new_graph
+            self._reset_overlay()
+            self._epoch += 1
+            self._compactions += 1
+            receipt = MutationBatch(
+                epoch=self._epoch, ops=(), compaction=True
+            )
+            subscribers = tuple(self._subscribers)
+        # Outside the lock, like apply(): subscribers run queries and
+        # re-registrations that take this lock (and others) themselves.
+        for fn in subscribers:
+            fn(receipt)
+        return new_graph
+
+    def to_graph(self) -> Graph:
+        """A fresh immutable :class:`Graph` equal to the current live
+        state, *without* mutating this overlay (unlike :meth:`compact`)."""
+        with self._lock:
+            live = list(self.live_edges())
+            return Graph(
+                vertex_names=[
+                    self.vertex_name(v) for v in self.vertices()
+                ],
+                label_names=list(self.alphabet),
+                src=[self.src(e) for e in live],
+                tgt=[self.tgt(e) for e in live],
+                labels=[self.labels(e) for e in live],
+                costs=(
+                    [self.cost(e) for e in live] if self.has_costs else None
+                ),
+            )
+
+    # -- convenience ----------------------------------------------------------------
+
+    def edge_str(self, e: int) -> str:
+        """Human-readable rendering of one edge."""
+        lbls = ",".join(self.label_names_of(e))
+        dead = " (removed)" if e in self._removed else ""
+        return (
+            f"e{e}:{self.vertex_name(self.src(e))}"
+            f"-[{lbls}]->{self.vertex_name(self.tgt(e))}{dead}"
+        )
+
+    def stats(self) -> Dict[str, float]:
+        """Summary counters (live sizes + overlay bookkeeping)."""
+        return {
+            "vertices": self.vertex_count,
+            "edges": self.live_edge_count,
+            "labels": self.label_count,
+            "label_occurrences": self.total_label_occurrences,
+            "size": self.size(),
+            "max_in_degree": self.max_in_degree(),
+            "epoch": self._epoch,
+            "overlay_edges": len(self._o_src),
+            "tombstones": len(self._removed),
+            "label_overrides": len(self._label_override),
+            "delta_ratio": round(self.delta_ratio, 4),
+            "compactions": self._compactions,
+        }
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.vertices())
+
+    def __repr__(self) -> str:
+        return (
+            f"LiveGraph(|V|={self.vertex_count}, "
+            f"|E|={self.live_edge_count} live "
+            f"(+{len(self._removed)} tombstoned), "
+            f"|Σ|={self.label_count}, epoch={self._epoch})"
+        )
+
+
+#: The label footprint of a query automaton: the label *names* its
+#: transitions mention plus whether it uses the ANY wildcard (which
+#: compiles against the whole alphabet and is therefore touched by
+#: every label).  This is what fine-grained invalidation intersects
+#: with a batch's ``touched_labels``/``new_labels``.
+QueryFootprint = Tuple[FrozenSet[str], bool]
+
+
+def query_label_footprint(automaton) -> QueryFootprint:
+    """``(mentioned label names, uses_any)`` for an NFA.
+
+    ε-transitions carry no label and are ignored; an automaton using
+    :data:`~repro.automata.nfa.ANY` is affected by *every* label the
+    graph may gain or touch, so it is flagged instead of enumerated.
+    """
+    from repro.automata.nfa import ANY, EPSILON
+
+    names: Set[str] = set()
+    uses_any = False
+    for q in automaton.states():
+        for label, _targets in automaton.transitions_from(q):
+            if label is EPSILON:
+                continue
+            if label is ANY:
+                uses_any = True
+            else:
+                names.add(label)
+    return frozenset(names), uses_any

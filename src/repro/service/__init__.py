@@ -77,6 +77,8 @@ executor and the service counters.
 
 from repro.service.cache import CacheStats, LRUCache
 from repro.service.requests import (
+    MutationRequest,
+    MutationResponse,
     QueryRequest,
     QueryResponse,
     RequestError,
@@ -87,6 +89,8 @@ from repro.service.service import QueryService, ServiceError, ServiceStats
 __all__ = [
     "CacheStats",
     "LRUCache",
+    "MutationRequest",
+    "MutationResponse",
     "QueryRequest",
     "QueryResponse",
     "QueryService",

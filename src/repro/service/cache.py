@@ -175,8 +175,23 @@ class LRUCache(Generic[K, V]):
         not interrupted (their keys embed the graph version, so a
         stale build can only ever be *read* through its stale key).
         """
+        return self.drop_where_item(lambda k, _v: predicate(k))
+
+    def drop_where_item(
+        self, predicate: Callable[[K, V], bool]
+    ) -> int:
+        """Remove entries whose ``(key, value)`` satisfies ``predicate``.
+
+        The value-aware sibling of :meth:`drop_where` — fine-grained
+        invalidation inspects the cached artifact itself (e.g. a
+        plan's or annotation's label footprint) instead of only the
+        key.  The predicate runs under the cache lock, so it must be
+        cheap and must not call back into the cache.
+        """
         with self._lock:
-            doomed = [k for k in self._data if predicate(k)]
+            doomed = [
+                k for k, v in self._data.items() if predicate(k, v)
+            ]
             for k in doomed:
                 del self._data[k]
             return len(doomed)

@@ -2,12 +2,21 @@
 
 A :class:`QueryRequest` is one RPQ evaluation: *enumerate the distinct
 shortest walks matching ``query`` from ``source`` to ``target``*, plus
-serving knobs (pagination, engine mode, time budget).  Requests
-round-trip through JSON dictionaries — the on-disk batch format is
-JSONL, one request object per line::
+serving knobs (pagination, engine mode, time budget).  A
+:class:`MutationRequest` is one write batch against a live graph
+(:mod:`repro.live`): a list of mutation ops applied atomically with
+fine-grained cache invalidation.  Requests round-trip through JSON
+dictionaries — the on-disk batch format is JSONL, one request object
+per line; a line is a mutation iff it carries a ``"mutate"`` key::
 
     {"query": "h* s (h | s)*", "source": "Alix", "target": "Bob"}
-    {"query": "h+", "source": "Alix", "target": "Dan", "limit": 10}
+    {"mutate": [{"op": "add_edge", "src": "Alix", "tgt": "Eve",
+                 "labels": ["h"]}]}
+    {"query": "h+", "source": "Alix", "target": "Eve", "limit": 10}
+
+Within a batch, a mutation acts as a **barrier**: the service executes
+every query before it (concurrently), then the mutation, then the
+rest — so the third line above sees the edge the second line added.
 
 A :class:`QueryResponse` carries the outcome:
 
@@ -29,7 +38,17 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
+from typing import (
+    Any,
+    Dict,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
 
 from repro.exceptions import ReproError
 
@@ -150,6 +169,109 @@ class QueryRequest:
 
 
 @dataclass
+class MutationRequest:
+    """One write batch against a registered live graph.
+
+    ``ops`` is the list of wire-form mutation ops (see
+    :mod:`repro.live.delta`); they are parsed and type-checked by
+    :meth:`validate`, and applied atomically by
+    :meth:`repro.service.QueryService.execute`.
+    """
+
+    ops: List[Dict[str, Any]]
+    #: Registered graph name; ``None`` selects the service's sole graph.
+    graph: Optional[str] = None
+    #: Compaction policy: ``"auto"`` (threshold), ``"always"``, ``"never"``.
+    compact: str = "auto"
+    #: Client-chosen id, echoed verbatim in the response.
+    id: Optional[Any] = None
+
+    _COMPACT = ("auto", "always", "never")
+
+    def validate(self) -> "MutationRequest":
+        from repro.exceptions import GraphError
+        from repro.live.delta import ops_from_dicts
+
+        if not isinstance(self.ops, (list, tuple)) or not self.ops:
+            raise RequestError(
+                "'mutate' must be a non-empty list of op objects"
+            )
+        if self.compact not in self._COMPACT:
+            raise RequestError(
+                f"unknown compact policy {self.compact!r}; expected "
+                f"one of {self._COMPACT}"
+            )
+        try:
+            self.parsed_ops = ops_from_dicts(self.ops)
+        except GraphError as exc:
+            raise RequestError(str(exc)) from None
+        return self
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "MutationRequest":
+        known = {"mutate", "graph", "compact", "id"}
+        unknown = set(payload) - known
+        if unknown:
+            raise RequestError(
+                "unknown mutation request field(s): "
+                f"{', '.join(sorted(unknown))}"
+            )
+        return cls(
+            ops=payload["mutate"],
+            graph=payload.get("graph"),
+            compact=payload.get("compact", "auto"),
+            id=payload.get("id"),
+        ).validate()
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"mutate": list(self.ops)}
+        if self.graph is not None:
+            out["graph"] = self.graph
+        if self.compact != "auto":
+            out["compact"] = self.compact
+        if self.id is not None:
+            out["id"] = self.id
+        return out
+
+
+#: Either kind of JSONL request line.
+Request = Union["QueryRequest", "MutationRequest"]
+
+
+@dataclass
+class MutationResponse:
+    """Outcome of one :class:`MutationRequest`."""
+
+    status: str  # "ok" | "error"
+    #: :meth:`repro.api.MutationResult.as_dict` of the applied batch.
+    result: Dict[str, Any] = field(default_factory=dict)
+    error: Optional[str] = None
+    timings: Dict[str, float] = field(default_factory=dict)
+    id: Optional[Any] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status != "error"
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"status": self.status}
+        if self.result:
+            out["result"] = self.result
+        if self.error is not None:
+            out["error"] = self.error
+        if self.timings:
+            out["timings"] = {
+                k: round(v, 6) for k, v in self.timings.items()
+            }
+        if self.id is not None:
+            out["id"] = self.id
+        return out
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=False)
+
+
+@dataclass
 class QueryResponse:
     """Outcome of one :class:`QueryRequest`."""
 
@@ -195,24 +317,40 @@ class QueryResponse:
         return json.dumps(self.to_dict(), sort_keys=False)
 
 
-def read_requests_jsonl(lines: Iterable[str]) -> Iterator[QueryRequest]:
-    """Parse a JSONL stream into requests.
+def iter_jsonl(lines: Iterable[str]) -> Iterator[Tuple[int, Any]]:
+    """Yield ``(lineno, payload)`` for a JSONL stream.
 
-    Blank lines and ``#`` comment lines are skipped.  A syntactically
-    broken line raises :class:`RequestError` naming the line number —
-    a malformed batch file is a caller bug, not a per-request failure.
+    The shared scaffolding of every JSONL consumer (the batch request
+    reader here, the CLI ``mutate`` ops reader): blank lines and
+    ``#`` comment lines are skipped, and a syntactically broken line
+    raises :class:`RequestError` naming the line number — a malformed
+    file is a caller bug, not a per-line failure.
     """
     for lineno, raw in enumerate(lines, start=1):
         line = raw.strip()
         if not line or line.startswith("#"):
             continue
         try:
-            payload = json.loads(line)
+            yield lineno, json.loads(line)
         except json.JSONDecodeError as exc:
             raise RequestError(
                 f"line {lineno}: invalid JSON ({exc.msg})"
             ) from None
+
+
+def read_requests_jsonl(lines: Iterable[str]) -> Iterator[Request]:
+    """Parse a JSONL stream into query and mutation requests.
+
+    A line whose object carries a ``"mutate"`` key parses as a
+    :class:`MutationRequest`, anything else as a
+    :class:`QueryRequest`; line hygiene and error reporting as in
+    :func:`iter_jsonl`.
+    """
+    for lineno, payload in iter_jsonl(lines):
         try:
-            yield QueryRequest.from_dict(payload)
+            if isinstance(payload, dict) and "mutate" in payload:
+                yield MutationRequest.from_dict(payload)
+            else:
+                yield QueryRequest.from_dict(payload)
         except RequestError as exc:
             raise RequestError(f"line {lineno}: {exc}") from None

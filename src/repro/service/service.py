@@ -33,7 +33,13 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from repro.exceptions import ReproError
 from repro.graph.database import Graph
-from repro.service.requests import QueryRequest, QueryResponse, RequestError
+from repro.service.requests import (
+    MutationRequest,
+    MutationResponse,
+    QueryRequest,
+    QueryResponse,
+    RequestError,
+)
 
 
 class ServiceError(ReproError):
@@ -48,6 +54,11 @@ class ServiceStats:
     errors: int = 0
     timeouts: int = 0
     walks_emitted: int = 0
+    mutations: int = 0
+    mutation_ops: int = 0
+    compactions: int = 0
+    evicted_plans: int = 0
+    evicted_annotations: int = 0
     plan_build_s: float = 0.0
     annotation_build_s: float = 0.0
     enumerate_s: float = 0.0
@@ -59,6 +70,11 @@ class ServiceStats:
             "errors": self.errors,
             "timeouts": self.timeouts,
             "walks_emitted": self.walks_emitted,
+            "mutations": self.mutations,
+            "mutation_ops": self.mutation_ops,
+            "compactions": self.compactions,
+            "evicted_plans": self.evicted_plans,
+            "evicted_annotations": self.evicted_annotations,
             "plan_build_s": round(self.plan_build_s, 6),
             "annotation_build_s": round(self.annotation_build_s, 6),
             "enumerate_s": round(self.enumerate_s, 6),
@@ -123,6 +139,9 @@ class QueryService:
         Re-registering bumps the version, which invalidates every
         cached plan and annotation for the old graph — see
         :meth:`repro.api.Database.register` for the mechanics.
+        Registering a :class:`~repro.live.LiveGraph` makes the entry
+        writable through ``{"mutate": [...]}`` requests without the
+        one-time promotion purge a plain graph's first mutation pays.
         """
         return self._db.register(name, graph, warm=warm)
 
@@ -139,13 +158,17 @@ class QueryService:
 
     # -- execution -----------------------------------------------------------
 
-    def execute(self, request: QueryRequest) -> QueryResponse:
+    def execute(self, request):
         """Execute one request; never raises for per-request problems.
 
-        Input problems (unknown graph/vertex, bad regex, bad knobs)
-        come back as ``status="error"`` responses so that one broken
-        request cannot take down a batch.
+        Accepts a :class:`QueryRequest` or a :class:`MutationRequest`
+        (returning the matching response type).  Input problems
+        (unknown graph/vertex, bad regex, bad ops) come back as
+        ``status="error"`` responses so that one broken request cannot
+        take down a batch.
         """
+        if isinstance(request, MutationRequest):
+            return self.execute_mutation(request)
         started = time.perf_counter()
         try:
             response = self._execute_checked(request)
@@ -173,11 +196,62 @@ class QueryService:
             self._stats.walks_emitted += len(response.walks)
         return response
 
+    def execute_mutation(
+        self, request: MutationRequest
+    ) -> MutationResponse:
+        """Apply one write batch; never raises for per-request problems."""
+        started = time.perf_counter()
+        try:
+            # from_dict/read_requests_jsonl already validated (and
+            # parsed the ops); only directly-constructed requests
+            # still need the pass.
+            if getattr(request, "parsed_ops", None) is None:
+                request.validate()
+            result = self._db.mutate(
+                request.graph,
+                request.parsed_ops,
+                compact={
+                    "auto": "auto", "always": True, "never": False,
+                }[request.compact],
+            )
+            response = MutationResponse(
+                status="ok", result=result.as_dict(), id=request.id
+            )
+        except (RequestError, ReproError) as exc:
+            response = MutationResponse(
+                status="error", error=str(exc), id=request.id
+            )
+        except Exception as exc:  # noqa: BLE001 — serving-layer backstop.
+            response = MutationResponse(
+                status="error",
+                error=f"internal error: {type(exc).__name__}: {exc}",
+                id=request.id,
+            )
+        response.timings["total"] = time.perf_counter() - started
+        with self._stats_lock:
+            self._stats.requests += 1
+            self._stats.total_s += response.timings["total"]
+            if response.status == "error":
+                self._stats.errors += 1
+            else:
+                self._stats.mutations += 1
+                self._stats.mutation_ops += response.result.get("ops", 0)
+                self._stats.compactions += int(
+                    response.result.get("compacted", False)
+                )
+                self._stats.evicted_plans += response.result.get(
+                    "evicted_plans", 0
+                )
+                self._stats.evicted_annotations += response.result.get(
+                    "evicted_annotations", 0
+                )
+        return response
+
     def execute_batch(
         self,
-        requests: Sequence[QueryRequest],
+        requests: Sequence,
         max_workers: Optional[int] = None,
-    ) -> List[QueryResponse]:
+    ) -> List:
         """Execute a batch on the thread pool, preserving request order.
 
         Cached preprocessing products are shared across the pool:
@@ -185,13 +259,41 @@ class QueryService:
         memoryless enumerations run concurrently over the read-only
         resumable structures, and the eager modes enumerate over
         private cursor snapshots.
+
+        Mutation requests are **barriers**: the queries before one run
+        (and finish) first, then the mutation applies alone, then the
+        remainder of the batch proceeds — read-your-writes order for
+        mixed batches without giving up read concurrency.
         """
         workers = self.max_workers if max_workers is None else max_workers
         requests = list(requests)
         if workers <= 1 or len(requests) <= 1:
             return [self.execute(r) for r in requests]
+
+        responses: List = []
+        segment: List[QueryRequest] = []
+        # One pool for the whole batch: pool.map is fully consumed by
+        # extend() before the next segment starts, so the barrier
+        # semantics hold without per-segment pool churn.
         with ThreadPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(self.execute, requests))
+
+            def flush() -> None:
+                if not segment:
+                    return
+                if len(segment) == 1:
+                    responses.append(self.execute(segment[0]))
+                else:
+                    responses.extend(pool.map(self.execute, segment))
+                segment.clear()
+
+            for request in requests:
+                if isinstance(request, MutationRequest):
+                    flush()
+                    responses.append(self.execute(request))
+                else:
+                    segment.append(request)
+            flush()
+        return responses
 
     # -- internals -----------------------------------------------------------
 

@@ -1,0 +1,271 @@
+"""The shared accessor contract, parametrized over Graph and LiveGraph.
+
+The entire enumeration pipeline (``annotate`` → ``trim`` →
+``enumerate``/``memoryless`` → counting DP) consumes a graph only
+through the paper's accessor contract plus the label-indexed CSR
+views.  :class:`~repro.live.LiveGraph` promises to honour that
+contract bit-for-bit so the pipeline runs on it unmodified; this
+module is the guard that keeps the two implementations aligned —
+every invariant is asserted against an immutable :class:`Graph`, a
+fresh overlay, a mutated overlay (adds + tombstones + label edits +
+new vertices/labels) and a just-compacted overlay.
+
+Two layers of checking:
+
+* **internal consistency** — the merged point reads
+  (``out_by_label``, ``out_edges`` …), the flat hot-loop views
+  (``out_csr``, ``tgt_idx_array`` …) and the per-edge accessors must
+  all describe the same graph;
+* **semantic equivalence** — a ``LiveGraph`` must describe the same
+  labeled multigraph as the immutable ``Graph`` rebuilt from its live
+  edge list (modulo edge-id renumbering).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.database import Graph
+from repro.live import LiveGraph
+
+
+def _seed_graph() -> Graph:
+    b = GraphBuilder()
+    b.add_edge("A", "B", ["h"])
+    b.add_edge("B", "C", ["h", "s"])
+    b.add_edge("C", "A", ["s"])
+    b.add_edge("A", "C", ["x"])
+    b.add_edge("B", "C", ["h"])  # Parallel edge.
+    b.add_edge("C", "C", ["x"])  # Self-loop.
+    b.add_vertex("isolated")
+    return b.build()
+
+
+def _mutated_live() -> LiveGraph:
+    live = LiveGraph(_seed_graph())
+    live.add_edge("C", "D", ["h", "ferry"])  # New vertex + new label.
+    live.add_edge("D", "A", ["s"])
+    live.remove_edge(1)  # Tombstone a base edge.
+    live.remove_edge(live.add_edge("A", "D", ["x"]))  # Overlay tombstone.
+    live.set_edge_labels(3, ["h", "night"])  # Base label edit, new label.
+    live.set_edge_labels(6, ["ferry"])  # Overlay label edit.
+    live.add_vertex("late_isolated")
+    return live
+
+
+def _compacted_live() -> LiveGraph:
+    live = _mutated_live()
+    live.compact()
+    live.add_edge("D", "B", ["h"])  # Keep an overlay on the new base.
+    return live
+
+
+FACTORIES = {
+    "immutable": _seed_graph,
+    "live_fresh": lambda: LiveGraph(_seed_graph()),
+    "live_mutated": _mutated_live,
+    "live_compacted": _compacted_live,
+}
+
+
+def _live_ids(graph):
+    if isinstance(graph, LiveGraph):
+        return list(graph.live_edges())
+    return list(graph.edges())
+
+
+@pytest.fixture(params=sorted(FACTORIES), name="graph")
+def _graph(request):
+    return FACTORIES[request.param]()
+
+
+class TestSharedContract:
+    """Invariants every accessor-compatible graph must satisfy."""
+
+    def test_out_by_label_matches_csr_buckets(self, graph) -> None:
+        indptr, payload = graph.out_csr
+        n = graph.vertex_count
+        for a in range(graph.label_count):
+            for v in graph.vertices():
+                b = a * n + v
+                bucket = tuple(payload[indptr[b]:indptr[b + 1]])
+                assert bucket == graph.out_by_label(v, a)
+
+    def test_in_by_label_matches_csr_buckets(self, graph) -> None:
+        indptr, payload = graph.in_csr
+        n = graph.vertex_count
+        for a in range(graph.label_count):
+            for v in graph.vertices():
+                b = a * n + v
+                bucket = tuple(payload[indptr[b]:indptr[b + 1]])
+                assert bucket == graph.in_by_label(v, a)
+
+    def test_buckets_sorted_and_labeled(self, graph) -> None:
+        for a in range(graph.label_count):
+            for v in graph.vertices():
+                for bucket, endpoint in (
+                    (graph.out_by_label(v, a), graph.src),
+                    (graph.in_by_label(v, a), graph.tgt),
+                ):
+                    assert list(bucket) == sorted(bucket)
+                    for e in bucket:
+                        assert endpoint(e) == v
+                        assert a in graph.labels(e)
+
+    def test_out_edges_union_of_buckets(self, graph) -> None:
+        for v in graph.vertices():
+            from_buckets = {
+                e
+                for a in range(graph.label_count)
+                for e in graph.out_by_label(v, a)
+            }
+            assert set(graph.out_edges(v)) == from_buckets
+            assert graph.out_degree(v) == len(graph.out_edges(v))
+
+    def test_out_label_summaries(self, graph) -> None:
+        for v in graph.vertices():
+            expected = tuple(
+                sorted(
+                    {a for e in graph.out_edges(v) for a in graph.labels(e)}
+                )
+            )
+            assert graph.out_labels(v) == expected
+            assert graph.out_labels_array[v] == expected
+
+    def test_in_label_summaries(self, graph) -> None:
+        for v in graph.vertices():
+            expected = tuple(
+                sorted(
+                    {
+                        a
+                        for a_ in range(graph.label_count)
+                        for e in graph.in_by_label(v, a_)
+                        for a in graph.labels(e)
+                    }
+                )
+            )
+            assert graph.in_labels(v) == expected
+            assert graph.in_labels_array[v] == expected
+
+    def test_tgt_idx_positions(self, graph) -> None:
+        """``In(Tgt(e))[TgtIdx(e)] == e`` for every live edge."""
+        for e in _live_ids(graph):
+            v = graph.tgt(e)
+            in_list = graph.in_edges(v)
+            ti = graph.tgt_idx(e)
+            assert in_list[ti] == e
+            assert graph.in_array[v][ti] == e
+            assert graph.tgt_idx_array[e] == ti
+            assert ti < graph.in_degree(v)
+
+    def test_flat_edge_arrays_agree_with_accessors(self, graph) -> None:
+        for e in _live_ids(graph):
+            assert graph.src_array[e] == graph.src(e)
+            assert graph.tgt_array[e] == graph.tgt(e)
+            assert graph.label_array[e] == graph.labels(e)
+            assert graph.cost_array[e] == graph.cost(e)
+            assert graph.labels(e) == tuple(sorted(set(graph.labels(e))))
+
+    def test_out_array_agrees_with_out_edges(self, graph) -> None:
+        for v in graph.vertices():
+            assert graph.out_array[v] == graph.out_edges(v)
+            for e in graph.out_edges(v):
+                assert graph.src(e) == v
+
+    def test_name_interning_round_trips(self, graph) -> None:
+        for v in graph.vertices():
+            name = graph.vertex_name(v)
+            assert graph.vertex_id(name) == v
+            assert graph.resolve_vertex(name) == v
+            assert graph.has_vertex(name)
+        for a in range(graph.label_count):
+            name = graph.label_name(a)
+            assert graph.label_id(name) == a
+            assert graph.has_label(name)
+        assert len(graph.alphabet) == graph.label_count
+
+    def test_size_accounting(self, graph) -> None:
+        live = _live_ids(graph)
+        occurrences = sum(len(graph.labels(e)) for e in live)
+        assert graph.total_label_occurrences == occurrences
+        assert graph.size() == (
+            graph.vertex_count + len(live) + occurrences
+        )
+
+
+@pytest.mark.parametrize(
+    "factory_name", ["live_fresh", "live_mutated", "live_compacted"]
+)
+def test_livegraph_equals_rebuilt_immutable(factory_name: str) -> None:
+    """A LiveGraph describes the same multigraph as a from-scratch build.
+
+    Edge ids differ (the rebuild closes tombstone slots), so edges are
+    compared as (src name, tgt name, label names, cost) multisets, and
+    adjacency per vertex as multisets of the same rendering.
+    """
+    live = FACTORIES[factory_name]()
+    rebuilt = live.to_graph()
+
+    def rendered(graph, e):
+        return (
+            graph.vertex_name(graph.src(e)),
+            graph.vertex_name(graph.tgt(e)),
+            graph.label_names_of(e),
+            graph.cost(e),
+        )
+
+    live_edges = sorted(rendered(live, e) for e in live.live_edges())
+    rebuilt_edges = sorted(rendered(rebuilt, e) for e in rebuilt.edges())
+    assert live_edges == rebuilt_edges
+    assert live.vertex_count == rebuilt.vertex_count
+    assert sorted(map(str, live.alphabet)) == sorted(
+        map(str, rebuilt.alphabet)
+    )
+    assert live.has_costs == rebuilt.has_costs
+
+    for v in live.vertices():
+        name = live.vertex_name(v)
+        rv = rebuilt.vertex_id(name)
+        live_out = sorted(rendered(live, e) for e in live.out_edges(v))
+        rebuilt_out = sorted(
+            rendered(rebuilt, e) for e in rebuilt.out_edges(rv)
+        )
+        assert live_out == rebuilt_out, name
+        live_in = sorted(
+            rendered(live, e) for e in live.in_edges(v) if live.is_live(e)
+        )
+        rebuilt_in = sorted(
+            rendered(rebuilt, e) for e in rebuilt.in_edges(rv)
+        )
+        assert live_in == rebuilt_in, name
+
+    # Relative In-order (the enumeration-order contract): live in-lists
+    # filtered of tombstones must list edges in the same relative order
+    # as the rebuild, because compaction/rebuild closes slots in
+    # ascending old-id order.
+    for v in live.vertices():
+        rv = rebuilt.vertex_id(live.vertex_name(v))
+        live_seq = [
+            rendered(live, e)
+            for e in live.in_edges(v)
+            if live.is_live(e)
+        ]
+        rebuilt_seq = [rendered(rebuilt, e) for e in rebuilt.in_edges(rv)]
+        assert live_seq == rebuilt_seq
+
+
+def test_compacted_overlay_keeps_interning() -> None:
+    """Vertex and label ids survive compaction (only edge ids move)."""
+    live = _mutated_live()
+    before_vertices = {
+        v: live.vertex_name(v) for v in live.vertices()
+    }
+    before_labels = {a: live.label_name(a) for a in range(live.label_count)}
+    live.compact()
+    assert {
+        v: live.vertex_name(v) for v in live.vertices()
+    } == before_vertices
+    assert {
+        a: live.label_name(a) for a in range(live.label_count)
+    } == before_labels

@@ -1,0 +1,233 @@
+"""Randomized differential testing of live-graph mutations.
+
+Each case draws, from a *seeded* PRNG, a random base graph plus a
+random **interleaving** of mutation batches and queries, and plays it
+against two worlds at once:
+
+* the **live world** — a :class:`~repro.api.Database` over a
+  :class:`~repro.live.LiveGraph`, mutated through
+  :meth:`~repro.api.Database.mutate` (fine-grained invalidation,
+  epoch-lazy views, occasional auto-compaction);
+* the **oracle world** — after every mutation prefix, an immutable
+  :class:`Graph` rebuilt from scratch from the live edge list, queried
+  through the ordinary (already oracle-verified) engine.
+
+Per query step, the façade's answers on the live graph are checked in
+*both* the eager and the memoryless engine modes for
+
+* **distinctness** — no walk emitted twice;
+* **shortestness** — every output has length λ (= the oracle's λ);
+* **completeness** — the rendered answer multiset equals the rebuilt
+  oracle's;
+* **order** — the rendered output *sequence* matches the oracle's DFS
+  order (the no-reindexing invariant keeps live ``TgtIdx`` order
+  aligned with the rebuild's insertion order), and the two live modes
+  agree edge-for-edge.
+
+Walks are compared by rendering each edge as
+``(src name, tgt name, label names)`` because edge *ids* legitimately
+differ between the overlay and a rebuild (tombstone slots close up).
+
+Knobs (mirroring ``test_differential.py``): ``LIVE_DIFF_CASES``
+(default 200) and ``LIVE_DIFF_SEED_BASE`` (default 0) — the CI
+``mutation-fuzz`` job runs disjoint seed ranges, and any failure
+replays locally with::
+
+    LIVE_DIFF_SEED_BASE=<base> PYTHONPATH=src python -m pytest \
+        "tests/property/test_live_differential.py::test_interleaving[<case>]"
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from typing import List, Tuple
+
+import pytest
+
+from repro.api import Database
+from repro.core.engine import DistinctShortestWalks
+from repro.graph.builder import GraphBuilder
+from repro.graph.database import Graph
+from repro.live import (
+    AddEdge,
+    AddVertex,
+    LiveGraph,
+    RemoveEdge,
+    SetEdgeLabels,
+)
+from repro.query import rpq
+
+_ALPHABET = ("a", "b", "c")
+_EXTRA_LABELS = ("n0", "n1")  # Drawn occasionally: label-universe growth.
+
+SEED_BASE = int(os.environ.get("LIVE_DIFF_SEED_BASE", "0"))
+N_CASES = int(os.environ.get("LIVE_DIFF_CASES", "200"))
+_N_STEPS = 12
+
+
+def _random_graph(rng: random.Random) -> Graph:
+    n = rng.randint(1, 5)
+    m = rng.randint(0, 10)
+    builder = GraphBuilder()
+    builder.add_vertices([f"v{i}" for i in range(n)])
+    for _ in range(m):
+        src = rng.randrange(n)
+        tgt = rng.randrange(n)
+        labels = rng.sample(_ALPHABET, rng.randint(1, len(_ALPHABET)))
+        builder.add_edge(f"v{src}", f"v{tgt}", sorted(labels))
+    return builder.build()
+
+
+def _random_regex(rng: random.Random, depth: int = 2) -> str:
+    if depth == 0 or rng.random() < 0.3:
+        return rng.choice(_ALPHABET)
+    roll = rng.random()
+    inner = _random_regex(rng, depth - 1)
+    if roll < 0.35:
+        return f"({inner} {_random_regex(rng, depth - 1)})"
+    if roll < 0.6:
+        return f"({inner} | {_random_regex(rng, depth - 1)})"
+    if roll < 0.8:
+        return f"({inner})*"
+    return f"({inner})+"
+
+
+def _random_labels(rng: random.Random) -> List[str]:
+    labels = rng.sample(_ALPHABET, rng.randint(1, 2))
+    if rng.random() < 0.15:
+        labels.append(rng.choice(_EXTRA_LABELS))
+    return sorted(set(labels))
+
+
+def _random_batch(rng: random.Random, live: LiveGraph) -> List:
+    ops: List = []
+    for _ in range(rng.randint(1, 3)):
+        live_ids = [e for e in live.live_edges()]
+        # Exclude ids already staged for removal/relabel in this batch.
+        staged = {
+            op.edge for op in ops if isinstance(op, (RemoveEdge,))
+        }
+        live_ids = [e for e in live_ids if e not in staged]
+        roll = rng.random()
+        vertex_pool = [
+            live.vertex_name(v) for v in live.vertices()
+        ] or ["v0"]
+
+        def pick_vertex() -> str:
+            if rng.random() < 0.12:
+                return f"w{rng.randrange(4)}"  # Possibly-new vertex.
+            return rng.choice(vertex_pool)
+
+        if roll < 0.5 or not live_ids:
+            ops.append(
+                AddEdge(
+                    pick_vertex(), pick_vertex(),
+                    tuple(_random_labels(rng)),
+                )
+            )
+        elif roll < 0.75:
+            ops.append(RemoveEdge(rng.choice(live_ids)))
+        elif roll < 0.9:
+            ops.append(
+                SetEdgeLabels(
+                    rng.choice(live_ids), tuple(_random_labels(rng))
+                )
+            )
+        else:
+            ops.append(AddVertex(f"u{rng.randrange(3)}"))
+    return ops
+
+
+def _rendered(graph, edges: Tuple[int, ...]) -> Tuple:
+    return tuple(
+        (
+            str(graph.vertex_name(graph.src(e))),
+            str(graph.vertex_name(graph.tgt(e))),
+            graph.label_names_of(e),
+        )
+        for e in edges
+    )
+
+
+@pytest.mark.parametrize("case", range(N_CASES))
+def test_interleaving(case: int) -> None:
+    seed = SEED_BASE + case
+    rng = random.Random(seed)
+    base = _random_graph(rng)
+    live = LiveGraph(base)
+    db = Database(live)
+    expressions = [_random_regex(rng) for _ in range(3)]
+    nfas = {x: rpq(x).automaton for x in expressions}
+
+    mutations = 0
+    queries = 0
+    for step in range(_N_STEPS):
+        context = f"seed={seed} step={step}"
+        if rng.random() < 0.45:
+            ops = _random_batch(rng, live)
+            result = db.mutate(ops)
+            assert result.batch.ops == tuple(ops), context
+            mutations += 1
+            continue
+
+        queries += 1
+        expression = rng.choice(expressions)
+        n = live.vertex_count
+        source = live.vertex_name(rng.randrange(n))
+        target = live.vertex_name(rng.randrange(n))
+        context = f"{context} regex={expression!r} {source}->{target}"
+
+        # Oracle world: rebuild from scratch, run the proven engine.
+        frozen = live.to_graph()
+        engine = DistinctShortestWalks(
+            frozen, nfas[expression], source, target, mode="iterative"
+        )
+        oracle_lam = engine.lam
+        oracle_walks = [
+            _rendered(frozen, w.edges) for w in engine.enumerate()
+        ]
+
+        # Live world: the cached façade path, both engine families.
+        per_mode = {}
+        for mode in ("iterative", "memoryless"):
+            result = (
+                db.query(expression)
+                .from_(source).to(target)
+                .mode(mode)
+                .run()
+            )
+            edges = [row.walk.edges for row in result]
+            assert result.lam == oracle_lam, f"{mode} λ ({context})"
+            # Distinctness, on raw live edge ids.
+            assert len(set(edges)) == len(edges), f"{mode} ({context})"
+            # Shortestness.
+            assert all(
+                len(e) == (oracle_lam or 0) for e in edges
+            ), f"{mode} ({context})"
+            # Completeness + order vs the rebuilt oracle.
+            assert [
+                _rendered(live, e) for e in edges
+            ] == oracle_walks, f"{mode} vs rebuild ({context})"
+            per_mode[mode] = edges
+        # The two live modes agree edge-for-edge.
+        assert per_mode["iterative"] == per_mode["memoryless"], context
+
+    # The interleaving draw must exercise both kinds of step over the
+    # suite; individual cases may legitimately be query- or
+    # mutation-only, so only guard against degenerate *generators*.
+    assert mutations + queries == _N_STEPS
+
+
+def test_interleaving_draws_mix() -> None:
+    """Across the configured seed range, both step kinds occur often."""
+    rng_hits = {"mutation": 0, "query": 0}
+    for case in range(min(N_CASES, 50)):
+        rng = random.Random(SEED_BASE + case)
+        _random_graph(rng)
+        for _ in range(_N_STEPS):
+            if rng.random() < 0.45:
+                rng_hits["mutation"] += 1
+            else:
+                rng_hits["query"] += 1
+    assert rng_hits["mutation"] > 0 and rng_hits["query"] > 0
