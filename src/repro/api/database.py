@@ -589,6 +589,15 @@ class Database:
         source_id: int,
         cheapest: bool,
     ) -> Tuple[MultiTargetShortestWalks, bool]:
+        """The saturated (query, source) annotation, cached.
+
+        The cached object carries the CSR-packed annotation arrays and
+        the shared trim cells (see :mod:`repro.datastructures.packed`):
+        every cache hit serves per-target reads off the flat ``dist``
+        array and enumerations off the packed cells — eager snapshots
+        copy one cursor array, the memoryless mode shares the arrays
+        read-only — with no per-hit dict materialization anywhere.
+        """
         key = (
             handle.name,
             handle.version,

@@ -27,6 +27,31 @@ direct target state always ends up in the certificate set.)
 Complexity: O(|E| × |Δ|) plus O(|V| × |Δ_ε|) for ε-handling, i.e.
 O(|D| × |A|) overall.
 
+Packed annotation layout (primary form)
+---------------------------------------
+
+The BFS carries ``L`` as one flat per-(vertex, state) integer array
+(``dist[v·|Q| + p]``, ``-1`` = unreached) and logs every ``B`` entry as
+an append-only ``(key, TgtIdx, predecessor)`` triple; on return the log
+is radix-packed into a :class:`~repro.datastructures.packed.PackedBack`
+— entries grouped by product node, ``TgtIdx``-ascending within a node
+(exactly Lemma 11's order), append order preserved within a cell.
+**These arrays are the annotation's primary representation**: ``Trim``,
+``ResumableTrim``, both enumerators, ``NextOutput`` and the counting DP
+read them directly, with no dict-of-dicts ever materialized on the hot
+path (Remark 17's entry count is the packed array length, an O(1)
+read).
+
+The documented mapping contract is preserved as *compatibility views*:
+:attr:`Annotation.L` and :attr:`Annotation.B` lazily materialize the
+historical ``L[u][p]`` / ``B[u][p][i]`` dicts on first access, with
+contents (including within-cell order and duplicates) identical to
+what the pre-packed implementation built in place.  The reference
+traversals (:func:`annotate_reference`,
+:func:`~repro.core.cheapest.cheapest_annotate_reference`) still build
+dicts natively; such annotations carry no packed form and downstream
+consumers transparently fall back to the mapping views.
+
 Label-indexed traversal
 -----------------------
 
@@ -39,52 +64,148 @@ label-indexed CSR adjacency (:attr:`repro.graph.database.Graph.out_csr`)
 and the query's dense transition layout
 (:attr:`repro.core.compile.CompiledQuery.delta_dense`).  The per-pair
 cost drops from O(OutDeg(v) × |Lbl|) dict probes to
-O(Σ_{a ∈ labels(q)} |Out_a(v)|).  ``L`` is carried as one flat
-per-(vertex, state) integer array during the BFS and converted to the
-documented dict-of-dicts form on return, so the :class:`Annotation`
-contract (and every downstream consumer: ``trim``, ``enumerate``, the
-baselines) is unchanged.  The pre-index traversal is retained verbatim
-as :func:`annotate_reference`; the equivalence property tests in
-``tests/core/test_adjacency_equivalence.py`` hold the two to identical
+O(Σ_{a ∈ labels(q)} |Out_a(v)|).  The pre-index traversal is retained
+verbatim as :func:`annotate_reference`; the equivalence property tests
+in ``tests/core/test_adjacency_equivalence.py`` and
+``tests/core/test_packed_equivalence.py`` hold the two to identical
 annotation contents.
 """
 
 from __future__ import annotations
 
 from array import array
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from typing import FrozenSet, List, Optional, Tuple
 
 from repro.core.compile import CompiledQuery
+from repro.datastructures.packed import BackMap, LengthMap, PackedBack, PackedCells
 
-#: Per-vertex ``L`` map: state -> length of shortest witness walk.
-LengthMap = Dict[int, int]
-#: Per-vertex ``B`` map: state -> {tgt_idx -> [predecessor states]}.
-BackMap = Dict[int, Dict[int, List[int]]]
+__all__ = [
+    "Annotation",
+    "BackMap",
+    "LengthMap",
+    "annotate",
+    "annotate_reference",
+]
 
 
-@dataclass
 class Annotation:
     """Output of :func:`annotate` (and of the Dijkstra variant).
 
     ``lam`` is ``None`` when the target was given but no matching walk
     exists.  For saturated runs (multi-target), per-target values are
     derived with :meth:`target_info`.
+
+    The interior is either *packed* (``dist`` + ``packed``, the primary
+    form produced by :func:`annotate` and
+    :func:`~repro.core.cheapest.cheapest_annotate`) or *mapping-based*
+    (``L`` + ``B`` dicts, produced by the reference traversals); the
+    :attr:`L` / :attr:`B` properties serve the documented mapping
+    contract either way, materializing lazily from the packed arrays
+    when needed.
     """
 
-    source: int
-    target: Optional[int]
-    lam: Optional[int]
-    L: List[LengthMap]
-    B: List[BackMap]
-    target_states: FrozenSet[int]
-    saturated: bool = False
-    #: Number of BFS levels (or Dijkstra settles) executed — diagnostics.
-    steps: int = 0
-    #: Final states of the compiled query (needed for per-target info).
-    final: FrozenSet[int] = field(default_factory=frozenset)
-    #: ε-closure of the initial states (valid run starting points).
-    initial_closure: FrozenSet[int] = field(default_factory=frozenset)
+    __slots__ = (
+        "source", "target", "lam", "target_states", "saturated", "steps",
+        "final", "initial_closure", "n", "n_states", "dist", "packed",
+        "_L", "_B", "_entries", "_cells",
+    )
+
+    def __init__(
+        self,
+        source: int,
+        target: Optional[int],
+        lam: Optional[int],
+        target_states: FrozenSet[int],
+        L: Optional[List[LengthMap]] = None,
+        B: Optional[List[BackMap]] = None,
+        saturated: bool = False,
+        steps: int = 0,
+        final: FrozenSet[int] = frozenset(),
+        initial_closure: FrozenSet[int] = frozenset(),
+        dist: Optional[array] = None,
+        packed: Optional[PackedBack] = None,
+        n: Optional[int] = None,
+        n_states: Optional[int] = None,
+    ) -> None:
+        self.source = source
+        self.target = target
+        self.lam = lam
+        self.target_states = target_states
+        self.saturated = saturated
+        self.steps = steps
+        self.final = final
+        self.initial_closure = initial_closure
+        self._L = L
+        self._B = B
+        self.dist = dist
+        self.packed = packed
+        if n is None:
+            n = len(L) if L is not None else 0
+        self.n = n
+        if n_states is None:
+            n_states = packed.n_states if packed is not None else 0
+        self.n_states = n_states
+        self._entries: Optional[int] = None
+        self._cells: Optional[PackedCells] = None
+
+    def __repr__(self) -> str:
+        form = "packed" if self.packed is not None else "maps"
+        return (
+            f"Annotation(source={self.source}, target={self.target}, "
+            f"lam={self.lam}, |V|={self.n}, form={form})"
+        )
+
+    # -- the documented mapping views -----------------------------------
+
+    @property
+    def L(self) -> List[LengthMap]:
+        """Per-vertex ``L`` maps (compatibility view; lazy)."""
+        if self._L is None:
+            assert self.dist is not None
+            self._L = _unflatten(self.dist, self.n, self.n_states)
+        return self._L
+
+    @property
+    def B(self) -> List[BackMap]:
+        """Per-vertex ``B`` maps (compatibility view; lazy)."""
+        if self._B is None:
+            assert self.packed is not None
+            self._B = self.packed.to_maps()
+        return self._B
+
+    # -- packed accessors ------------------------------------------------
+
+    @property
+    def vertex_count(self) -> int:
+        """Number of vertices this annotation was built over."""
+        return self.n if self._L is None else len(self._L)
+
+    def packed_back(self) -> PackedBack:
+        """The packed ``B`` store, building it from the mapping form
+        when this annotation was produced by a reference traversal."""
+        if self.packed is None:
+            L = self._L or []
+            B = self._B or []
+            n = len(B)
+            n_states = self.n_states or 1 + max(
+                (p for row in L for p in row), default=-1
+            )
+            self.packed = PackedBack.from_maps(n, n_states, B)
+            self.n = n
+            self.n_states = n_states
+        return self.packed
+
+    def packed_cells(self, graph) -> PackedCells:
+        """The shared ``Trim`` cell structure (built once, cached).
+
+        Both :func:`~repro.core.trim.trim` and
+        :func:`~repro.core.trim.resumable_trim` wrap this one object,
+        so the O(entries) slicing pass runs at most once per
+        annotation.
+        """
+        if self._cells is None:
+            self._cells = PackedCells(graph, self.packed_back())
+        return self._cells
 
     def target_info(self, t: int) -> Tuple[Optional[int], FrozenSet[int]]:
         """``(λ_t, S_t)`` for an arbitrary target ``t``.
@@ -102,13 +223,19 @@ class Annotation:
         fire on, else the entry would have been evicted), so the
         answer is the usual "no matching walk".
         """
-        if not 0 <= t < len(self.L):
+        if not 0 <= t < self.vertex_count:
             return None, frozenset()
         if t == self.source and (self.initial_closure & self.final):
             return 0, frozenset(self.initial_closure & self.final)
-        reached = [
-            (self.L[t][f], f) for f in self.final if f in self.L[t]
-        ]
+        dist = self.dist
+        if dist is not None:
+            base = t * self.n_states
+            reached = [
+                (dist[base + f], f) for f in self.final if dist[base + f] >= 0
+            ]
+        else:
+            row = self.L[t]
+            reached = [(row[f], f) for f in self.final if f in row]
         if not reached:
             return None, frozenset()
         lam_t = min(level for level, _ in reached)
@@ -118,20 +245,27 @@ class Annotation:
         """Total number of predecessor entries stored in ``B``.
 
         Used by the memory experiment (EXP-MEM) to check Remark 17's
-        O(|E| × |Δ|) bound.
+        O(|E| × |Δ|) bound.  O(1) on packed annotations (the count *is*
+        the packed array length); computed once and cached on
+        mapping-based ones.
         """
-        return sum(
-            len(preds)
-            for vertex_map in self.B
-            for cells in vertex_map.values()
-            for preds in cells.values()
-        )
+        if self.packed is not None:
+            return len(self.packed)
+        if self._entries is None:
+            self._entries = sum(
+                len(preds)
+                for vertex_map in (self._B or [])
+                for cells in vertex_map.values()
+                for preds in cells.values()
+            )
+        return self._entries
 
 
 def _unflatten(flat: array, n: int, n_states: int) -> List[LengthMap]:
     """Convert the flat per-(vertex, state) array back to ``L`` dicts.
 
-    ``-1`` marks unreached pairs; O(|V| × |Q|), once per annotation.
+    ``-1`` marks unreached pairs; O(|V| × |Q|), only ever run for the
+    compatibility view.
     """
     L: List[LengthMap] = []
     pos = 0
@@ -160,8 +294,10 @@ def annotate(
 
     This is the label-indexed traversal (module docstring): frontier
     pairs expand over ``labels(Δ(q)) ∩ labels(Out(v))`` through the
-    graph's CSR adjacency.  :func:`annotate_reference` is the retained
-    edge-major original; both produce identical annotations.
+    graph's CSR adjacency, recording ``B`` entries into the append-only
+    packed log (no per-entry dict or list allocation).
+    :func:`annotate_reference` is the retained edge-major original;
+    both produce identical annotation contents.
 
     Queries compiled with ``eliminate_epsilon=False`` delegate to the
     reference traversal: Section 5.1's ``PossiblyVisit`` propagates
@@ -188,7 +324,13 @@ def annotate(
 
     # L, flattened: dist[v * |Q| + p], -1 = unreached.
     dist = array("q", [-1]) * (n * n_states)
-    B: List[BackMap] = [{} for _ in range(n)]
+    # The B entry log: (key, TgtIdx, predecessor) triples, append-only.
+    ent_key = array("q")
+    ent_ti = array("q")
+    ent_pred = array("q")
+    key_append = ent_key.append
+    ti_append = ent_ti.append
+    pred_append = ent_pred.append
 
     next_pairs: List[Tuple[int, int]] = []
     source_base = source * n_states
@@ -207,11 +349,13 @@ def annotate(
             source=source,
             target=target,
             lam=0,
-            L=_unflatten(dist, n, n_states),
-            B=B,
             target_states=frozenset(cq.initial_closure & final),
             final=final,
             initial_closure=cq.initial_closure,
+            dist=dist,
+            packed=PackedBack.from_entries(n, n_states, ent_key, ent_ti, ent_pred),
+            n=n,
+            n_states=n_states,
         )
 
     stop = False
@@ -239,7 +383,6 @@ def annotate(
                     e = csr_edges[j]
                     u = tgt_arr[e]
                     u_base = u * n_states
-                    back_map = B[u]
                     ti = ti_arr[e]
                     for p in targets:
                         known = dist[u_base + p]
@@ -249,20 +392,23 @@ def annotate(
                             next_pairs.append((u, p))
                             if u == target and p in final and not saturate:
                                 stop = True
-                            back_map.setdefault(p, {}).setdefault(
-                                ti, []
-                            ).append(q)
+                            key_append(u_base + p)
+                            ti_append(ti)
+                            pred_append(q)
                         elif known == level:
                             # Another walk of the same (minimal) length
                             # reaches p at u: record the extra witness.
-                            back_map[p].setdefault(ti, []).append(q)
+                            key_append(u_base + p)
+                            ti_append(ti)
+                            pred_append(q)
 
-    L = _unflatten(dist, n, n_states)
+    packed = PackedBack.from_entries(n, n_states, ent_key, ent_ti, ent_pred)
     if target is not None and not saturate:
         if stop:
             lam: Optional[int] = level
+            t_base = target * n_states
             target_states = frozenset(
-                f for f in final if L[target].get(f) == level
+                f for f in final if dist[t_base + f] == level
             )
         else:
             lam, target_states = None, frozenset()
@@ -270,25 +416,29 @@ def annotate(
             source=source,
             target=target,
             lam=lam,
-            L=L,
-            B=B,
             target_states=target_states,
             steps=level,
             final=final,
             initial_closure=cq.initial_closure,
+            dist=dist,
+            packed=packed,
+            n=n,
+            n_states=n_states,
         )
 
     return Annotation(
         source=source,
         target=target,
         lam=None,
-        L=L,
-        B=B,
         target_states=frozenset(),
         saturated=True,
         steps=level,
         final=final,
         initial_closure=cq.initial_closure,
+        dist=dist,
+        packed=packed,
+        n=n,
+        n_states=n_states,
     )
 
 
@@ -304,7 +454,8 @@ def annotate_reference(
     equivalence property tests run both on random instances) and as
     the baseline of ``benchmarks/bench_adjacency.py``.  Semantics are
     identical; per frontier pair it costs O(OutDeg(v) × |Lbl|) dict
-    probes instead of the CSR traversal's output-sensitive bound.
+    probes instead of the CSR traversal's output-sensitive bound, and
+    it builds the mapping form natively (no packed arrays).
     """
     graph = cq.graph
     n = graph.vertex_count
@@ -342,6 +493,7 @@ def annotate_reference(
             target_states=frozenset(cq.initial_closure & final),
             final=final,
             initial_closure=cq.initial_closure,
+            n_states=cq.n_states,
         )
 
     stop = False
@@ -418,6 +570,7 @@ def annotate_reference(
             steps=level,
             final=final,
             initial_closure=cq.initial_closure,
+            n_states=cq.n_states,
         )
 
     return Annotation(
@@ -431,4 +584,5 @@ def annotate_reference(
         steps=level,
         final=final,
         initial_closure=cq.initial_closure,
+        n_states=cq.n_states,
     )

@@ -20,9 +20,15 @@ Like the BFS :func:`repro.core.annotate.annotate`, the settle loop is
 label-indexed: a popped product node ``(v, q)`` relaxes only the labels
 in ``labels(Δ(q)) ∩ labels(Out(v))`` via the graph's CSR adjacency and
 the query's dense transition layout, with ``L`` carried as a flat
-per-(vertex, state) cost array during the traversal.  The pre-index
-edge-major loop is retained as :func:`cheapest_annotate_reference` for
-the equivalence tests and the adjacency benchmark.
+per-(vertex, state) cost array during the traversal — and kept flat in
+the returned annotation (the packed primary form; see
+:mod:`repro.core.annotate`).  ``B`` is built as maps during the
+traversal (improvements *discard* previously recorded witnesses, which
+an append-only log cannot express) and packed once on return, so
+``Trim``/``Enumerate`` run on the same packed arrays as the BFS
+pipeline.  The pre-index edge-major loop is retained as
+:func:`cheapest_annotate_reference` for the equivalence tests and the
+adjacency benchmark.
 """
 
 from __future__ import annotations
@@ -31,8 +37,9 @@ import heapq
 from array import array
 from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
 
-from repro.core.annotate import Annotation, BackMap, LengthMap, _unflatten
+from repro.core.annotate import Annotation, BackMap, LengthMap
 from repro.core.compile import CompiledQuery, compile_query
+from repro.datastructures.packed import PackedBack
 from repro.core.enumerate import enumerate_walks
 from repro.core.trim import TrimmedAnnotation, trim
 from repro.core.walks import Walk
@@ -211,15 +218,21 @@ def cheapest_annotate(
                                     seen.add(r2)
                                     stack.append(r2)
 
-    L = _unflatten(dist, n, n_states)
+    # Pack the settled B maps: the Dijkstra traversal discards and
+    # re-records witnesses on improvement, so it builds maps natively
+    # and packs once at the end (the packed arrays are what Trim and
+    # the enumerators read; the maps stay on as the compatibility
+    # view, sharing the recorded predecessor order).
+    packed = PackedBack.from_maps(n, n_states, B)
     if target is not None and not saturate:
         if lam == 0:
             target_states: FrozenSet[int] = frozenset(
                 cq.initial_closure & final
             )
         elif lam is not None:
+            t_base = target * n_states
             target_states = frozenset(
-                f for f in final if L[target].get(f) == lam
+                f for f in final if dist[t_base + f] == lam
             )
         else:
             target_states = frozenset()
@@ -227,24 +240,30 @@ def cheapest_annotate(
             source=source,
             target=target,
             lam=lam,
-            L=L,
             B=B,
             target_states=target_states,
             steps=steps,
             final=final,
             initial_closure=cq.initial_closure,
+            dist=dist,
+            packed=packed,
+            n=n,
+            n_states=n_states,
         )
     return Annotation(
         source=source,
         target=target,
         lam=None,
-        L=L,
         B=B,
         target_states=frozenset(),
         saturated=True,
         steps=steps,
         final=final,
         initial_closure=cq.initial_closure,
+        dist=dist,
+        packed=packed,
+        n=n,
+        n_states=n_states,
     )
 
 
@@ -364,6 +383,7 @@ def cheapest_annotate_reference(
             steps=steps,
             final=final,
             initial_closure=cq.initial_closure,
+            n_states=cq.n_states,
         )
     return Annotation(
         source=source,
@@ -376,6 +396,7 @@ def cheapest_annotate_reference(
         steps=steps,
         final=final,
         initial_closure=cq.initial_closure,
+        n_states=cq.n_states,
     )
 
 

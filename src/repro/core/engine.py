@@ -118,7 +118,11 @@ class DistinctShortestWalks:
         """Run the preprocessing phase once; later calls are no-ops.
 
         Records wall-clock timings per phase in :attr:`timings`
-        (``compile``, ``annotate``, ``trim``, ``total``).
+        (``compile``, ``annotate``, ``trim``, ``total``).  On the
+        packed pipeline (the default), ``trim`` and the memoryless
+        mode's ``resumable_trim`` wrap one shared
+        :meth:`~repro.core.annotate.Annotation.packed_cells` build, so
+        the two together cost a single O(entries) pass.
         """
         if self._annotation is not None or self._simple is not None:
             return self
@@ -315,7 +319,12 @@ class DistinctShortestWalks:
         return result
 
     def structure_sizes(self) -> Dict[str, int]:
-        """Entry counts of the precomputed structures (Remark 17)."""
+        """Entry counts of the precomputed structures (Remark 17).
+
+        All three counts are O(1) reads on the packed pipeline: the
+        annotation count is the packed entry-array length, the trimmed
+        and resumable counts the shared cell-array length.
+        """
         self.preprocess()
         if self._annotation is None:
             return {}

@@ -16,11 +16,17 @@ Two implementations are provided:
   walks.  Frames carry a *remaining budget* instead of a depth, which
   lets the same code serve the Distinct Cheapest Walks extension
   (budget = remaining cost, leaf ⇔ budget 0); with unit costs it is
-  exactly the paper's algorithm.
+  exactly the paper's algorithm.  On packed trimmed annotations (the
+  default) the DFS runs directly over the flat cell arrays: queue
+  heads are integer cursor reads, cursor restarts are integer stores,
+  and child certificates come from the per-cell cached tuples — the
+  common single-queue-head case unions nothing and allocates nothing.
+  The unit-cost loop is specialized (no per-edge cost callback); the
+  callback fires only in cheapest mode.
 * :func:`enumerate_walks_recursive` — a **faithful transcription** of
   the paper's pseudocode (recursive, cons-list walk, unit lengths),
   kept for auditability and cross-checked by the test suite for
-  identical output order.
+  identical output order.  It runs over the compatibility queue view.
 
 Delay: between two consecutive outputs the DFS traverses at most 2λ
 tree edges, each costing O(|Q| + Σ_p |X_p|) = O(|A|) — hence the
@@ -39,10 +45,6 @@ from repro.graph.database import Graph
 
 #: Edge-cost callback; unit costs reproduce the paper's setting.
 CostFn = Callable[[int], int]
-
-
-def _unit_cost(_e: int) -> int:
-    return 1
 
 
 def enumerate_walks(
@@ -64,16 +66,27 @@ def enumerate_walks(
     start_states:
         ``S(⟨t⟩)`` — the final states reached at the target at level λ.
     cost_of:
-        per-edge cost; defaults to unit costs (the paper's setting).
+        per-edge cost; ``None`` (the default) selects the specialized
+        unit-cost loop (the paper's setting, no per-edge callback).
+
+    Dispatches to the packed-array DFS when ``trimmed`` carries packed
+    cells whose compatibility queues have not been materialized;
+    otherwise (mapping-built structures, instrumentation proxies) the
+    original queue-object DFS runs.  Both produce the identical output
+    sequence.
     """
     if budget is None or not start_states:
         return
     if budget == 0:
         yield Walk(graph, (), start=target)
         return
-    if cost_of is None:
-        cost_of = _unit_cost
+    if trimmed.cells is not None and trimmed._queues is None:
+        yield from _enumerate_packed(
+            graph, trimmed, budget, target, start_states, cost_of
+        )
+        return
 
+    unit = cost_of is None
     trimmed.acquire()
     queues = trimmed.queues
     ti_arr = graph.tgt_idx_array
@@ -89,7 +102,8 @@ def enumerate_walks(
             u, states, remaining = stack[-1]
             if remaining == 0:
                 # Leaf of T: ⟨chosen⟩ reversed is an answer (Remark 13).
-                yield Walk(graph, tuple(reversed(chosen)))
+                edges = tuple(reversed(chosen))
+                yield Walk.from_edges_unchecked(graph, edges, src_arr[edges[0]])
                 stack.pop()
                 chosen.pop()
                 continue
@@ -134,12 +148,120 @@ def enumerate_walks(
                 (
                     src_arr[emin],
                     tuple(sorted(child_states)),
-                    remaining - cost_of(emin),
+                    remaining - 1 if unit else remaining - cost_of(emin),
                 )
             )
     finally:
         # A closed/abandoned generator must not leave cursors dirty:
         # the trimmed structure is shared by subsequent enumerations.
+        trimmed.restart_all()
+
+
+def _enumerate_packed(
+    graph: Graph,
+    trimmed: TrimmedAnnotation,
+    budget: int,
+    target: int,
+    start_states: FrozenSet[int],
+    cost_of: Optional[CostFn],
+) -> Iterator[Walk]:
+    """The packed-array DFS behind :func:`enumerate_walks`.
+
+    Same traversal, same output order; queue state is the per-node
+    cursor array and the flat cell arrays of the shared
+    :class:`~repro.datastructures.packed.PackedCells`.  Certificates
+    are the per-cell cached tuples — already sorted and deduplicated —
+    merged only when ``emin`` sits at more than one state's head.
+    """
+    cells = trimmed.cells
+    n_states = cells.n_states
+    key_indptr = cells.key_indptr
+    cell_ti = cells.cell_ti
+    cell_edge = cells.cell_edge
+    pred_indptr = cells.cell_pred_indptr
+    preds_arr = cells.back.ent_pred
+    certs = cells.certs
+    cur = trimmed.cursor
+    src_arr = graph.src_array
+    unit = cost_of is None
+
+    trimmed.acquire()
+    chosen: List[int] = []
+    # Frame: (vertex, certificate states, remaining budget).
+    stack: List[Tuple[int, Tuple[int, ...], int]] = [
+        (target, tuple(sorted(start_states)), budget)
+    ]
+    try:
+        while stack:
+            u, states, remaining = stack[-1]
+            if remaining == 0:
+                edges = tuple(reversed(chosen))
+                yield Walk.from_edges_unchecked(graph, edges, src_arr[edges[0]])
+                stack.pop()
+                chosen.pop()
+                continue
+
+            base = u * n_states
+            # Lines 48-53: queue heads are cursor reads; TgtIdx order
+            # within a node makes the head the minimal candidate.
+            emin_c = -1
+            emin_ti = -1
+            for p in states:
+                k = base + p
+                c = cur[k]
+                if c < key_indptr[k + 1]:
+                    t = cell_ti[c]
+                    if emin_c < 0 or t < emin_ti:
+                        emin_c, emin_ti = c, t
+
+            if emin_c < 0:
+                # Lines 54-57: restart this node's cursors and return.
+                for p in states:
+                    k = base + p
+                    cur[k] = key_indptr[k]
+                stack.pop()
+                if chosen:
+                    chosen.pop()
+                continue
+
+            # Lines 58-65: consume emin at every head carrying it and
+            # union the (cached, sorted) certificates.
+            single: Optional[Tuple[int, ...]] = None
+            merged = None
+            for p in states:
+                k = base + p
+                c = cur[k]
+                if c < key_indptr[k + 1] and cell_ti[c] == emin_ti:
+                    cur[k] = c + 1
+                    cert = certs[c]
+                    if cert is None:
+                        lo, hi = pred_indptr[c], pred_indptr[c + 1]
+                        if hi == lo + 1:
+                            cert = (preds_arr[lo],)
+                        else:
+                            cert = tuple(sorted(set(preds_arr[lo:hi])))
+                        certs[c] = cert
+                    if merged is not None:
+                        merged.update(cert)
+                    elif single is None:
+                        single = cert
+                    elif single != cert:
+                        merged = set(single)
+                        merged.update(cert)
+            child_states = (
+                single if merged is None else tuple(sorted(merged))
+            )
+
+            emin = cell_edge[emin_c]
+            chosen.append(emin)
+            stack.append(
+                (
+                    src_arr[emin],
+                    child_states,
+                    remaining - 1 if unit else remaining - cost_of(emin),
+                )
+            )
+    finally:
         trimmed.restart_all()
 
 
@@ -156,6 +278,8 @@ def enumerate_walks_recursive(
     copy, per Section 2.1) and recursion of depth λ.  Intended for
     reference and testing; prefer :func:`enumerate_walks` in
     applications (no recursion-depth limit, cheapest-walk support).
+    Runs over the queue-object view (materialized on demand from a
+    packed trimmed annotation).
     """
     if lam is None or not start_states:
         return

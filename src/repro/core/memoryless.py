@@ -13,6 +13,18 @@ The output sequence is identical to
 :func:`repro.core.enumerate.enumerate_walks`; the delay remains
 O(λ × |A|) (Theorem 18) because seeking is O(1) per (frame, state).
 
+On the packed :class:`~repro.core.trim.ResumableAnnotation` (the
+default), the shared structure is the annotation's flat cell arrays:
+a frame cursor is an absolute cell position, seeking is a binary
+search over the node's (tiny, ``TgtIdx``-ascending) cell span, and
+certificates come from the per-cell cached tuples.  Nothing is ever
+written to the shared arrays, so any number of concurrent
+enumerations may run — the property the batched query service's
+annotation cache relies on.  The legacy
+:class:`~repro.datastructures.ResumableIndex` object view is used
+automatically whenever it has been materialized (e.g. by the
+step-counting instrumentation tests).
+
 Key cursor invariant (matching the eager enumerator): when the DFS has
 descended into edge ``e`` from a frame at vertex ``u``, every queue of
 that frame is positioned at its first non-empty cell with
@@ -23,6 +35,7 @@ single ``after(TgtIdx(e))`` per state.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from typing import Callable, Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.trim import ResumableAnnotation
@@ -87,6 +100,11 @@ def next_output(
     if budget == 0:
         # Single trivial answer ⟨t⟩; it has no successor.
         return None if previous_edges is not None else Walk(graph, (), start=target)
+    if resumable.cells is not None and resumable._index is None:
+        return _next_output_packed(
+            graph, resumable, budget, target, start_states,
+            previous_edges, cost_of,
+        )
     if cost_of is None:
         cost_of = _unit_cost
 
@@ -139,10 +157,10 @@ def next_output(
     while frames:
         frame = frames[-1]
         if frame.remaining == 0:
-            return Walk(
-                graph,
-                tuple(f.via_edge for f in reversed(frames) if f.via_edge is not None),
+            edges = tuple(
+                f.via_edge for f in reversed(frames) if f.via_edge is not None
             )
+            return Walk.from_edges_unchecked(graph, edges, src_arr[edges[0]])
         u = frame.vertex
         emin_cell = -1
         for p in frame.states:
@@ -170,6 +188,134 @@ def next_output(
                 _fresh_cursors(resumable, child_vertex, child_states),
                 emin,
                 frame.remaining - cost_of(emin),
+            )
+        )
+    return None
+
+
+def _next_output_packed(
+    graph: Graph,
+    resumable: ResumableAnnotation,
+    budget: int,
+    target: int,
+    start_states: FrozenSet[int],
+    previous_edges: Optional[Sequence[int]],
+    cost_of: Optional[CostFn],
+) -> Optional[Walk]:
+    """``NextOutput`` over the packed cell arrays.
+
+    Frame cursors are absolute cell positions into the shared arrays
+    (``cursors[p]`` past the node's span end ⇔ the legacy ``None``);
+    the guided descent's ``payload`` + ``after`` pair becomes one
+    binary search per (frame, state) over the node's ``TgtIdx`` span.
+    The shared structure is read-only, exactly like the legacy form.
+    """
+    cells = resumable.cells
+    n_states = cells.n_states
+    key_indptr = cells.key_indptr
+    cell_ti = cells.cell_ti
+    cell_edge = cells.cell_edge
+    n = cells.n
+    ti_arr = graph.tgt_idx_array
+    src_arr = graph.src_array
+    unit = cost_of is None
+    cert_of = cells.cert
+
+    def fresh_cursors(
+        vertex: int, states: Tuple[int, ...]
+    ) -> Dict[int, int]:
+        base = vertex * n_states
+        return {p: key_indptr[base + p] for p in states}
+
+    root_states = tuple(sorted(start_states))
+    frames: List[_Frame] = [
+        _Frame(target, root_states, {}, None, budget)
+    ]
+
+    if previous_edges is None:
+        if target >= n:
+            # Outside the annotation's vertex range (a live graph grew
+            # after caching): provably no matching walk — callers
+            # normally never get here because λ_t is already None.
+            return None
+        frames[0].cursors = fresh_cursors(target, root_states)
+    else:
+        # Guided descent along the previous output.
+        for e in reversed(list(previous_edges)):
+            frame = frames[-1]
+            base = frame.vertex * n_states
+            ti = ti_arr[e]
+            child_states_set = set()
+            cursors: Dict[int, int] = {}
+            for p in frame.states:
+                k = base + p
+                lo, hi = key_indptr[k], key_indptr[k + 1]
+                c = bisect_left(cell_ti, ti, lo, hi)
+                if c < hi and cell_ti[c] == ti:
+                    child_states_set.update(cert_of(c))
+                    cursors[p] = c + 1
+                else:
+                    # No cell at TgtIdx(e) for this state: the cursor
+                    # lands on the first cell strictly past it.
+                    cursors[p] = c
+            frame.cursors = cursors
+            frames.append(
+                _Frame(
+                    src_arr[e],
+                    tuple(sorted(child_states_set)),
+                    {},
+                    e,
+                    frame.remaining - (1 if unit else cost_of(e)),
+                )
+            )
+        # The guided leaf *is* the previous output: skip it.
+        frames.pop()
+
+    # Ordinary DFS, resumed from the reconstructed stack.
+    while frames:
+        frame = frames[-1]
+        if frame.remaining == 0:
+            edges = tuple(
+                f.via_edge for f in reversed(frames) if f.via_edge is not None
+            )
+            return Walk.from_edges_unchecked(graph, edges, src_arr[edges[0]])
+        base = frame.vertex * n_states
+        cursors = frame.cursors
+        emin_c = -1
+        emin_ti = -1
+        for p in frame.states:
+            c = cursors[p]
+            if c < key_indptr[base + p + 1]:
+                t = cell_ti[c]
+                if emin_c < 0 or t < emin_ti:
+                    emin_c, emin_ti = c, t
+        if emin_c < 0:
+            frames.pop()
+            continue
+        single: Optional[Tuple[int, ...]] = None
+        merged = None
+        for p in frame.states:
+            c = cursors[p]
+            if c < key_indptr[base + p + 1] and cell_ti[c] == emin_ti:
+                cursors[p] = c + 1
+                cert = cert_of(c)
+                if merged is not None:
+                    merged.update(cert)
+                elif single is None:
+                    single = cert
+                elif single != cert:
+                    merged = set(single)
+                    merged.update(cert)
+        child_states = single if merged is None else tuple(sorted(merged))
+        emin = cell_edge[emin_c]
+        child_vertex = src_arr[emin]
+        frames.append(
+            _Frame(
+                child_vertex,
+                child_states,
+                fresh_cursors(child_vertex, child_states),
+                emin,
+                frame.remaining - (1 if unit else cost_of(emin)),
             )
         )
     return None

@@ -10,7 +10,13 @@ trimmed annotation.
 
 Saturation visits the *entire* reachable product, so it benefits the
 most from the label-indexed traversal (every frontier pair pays the
-intersection cost, none is cut short by an early stop).  The
+intersection cost, none is cut short by an early stop) — and from the
+packed annotation layout: per-target λ/certificate reads go straight
+to the flat ``dist`` array (no ``L`` dict materialization over |V|
+targets), and the eager :attr:`trimmed` and read-only
+:attr:`resumable` structures wrap the *same* packed cell arrays, so a
+saturated annotation cached by the query service serves every target
+and both engine families from one O(entries) build.  The
 ``reference`` flag switches to the retained pre-index traversals —
 useful for A/B measurements and the equivalence tests, not for
 production use.

@@ -101,6 +101,11 @@ def enumerate_with_runs(
     if lam == 0:
         yield Walk(graph, (), start=target), len(initial & set(cq.final))
         return
+    if trimmed.cells is not None and trimmed._queues is None:
+        yield from _enumerate_with_runs_packed(
+            graph, trimmed, cq, lam, target, start_states, initial
+        )
+        return
 
     trimmed.acquire()
     queues = trimmed.queues
@@ -122,7 +127,10 @@ def enumerate_with_runs(
                 multiplicity = sum(
                     c for q, c in runs.items() if q in initial
                 )
-                yield Walk(graph, tuple(reversed(chosen))), multiplicity
+                edges = tuple(reversed(chosen))
+                yield Walk.from_edges_unchecked(
+                    graph, edges, src_arr[edges[0]]
+                ), multiplicity
                 stack.pop()
                 chosen.pop()
                 continue
@@ -155,6 +163,110 @@ def enumerate_with_runs(
                     if e == emin:
                         child_states.update(preds)
                         queue.advance()
+
+            # Roll the run map backwards across emin: a run of the new
+            # suffix starting in q picks a label a and a transition
+            # into some p, then continues as a run from p.
+            child_runs: Dict[int, int] = {}
+            edge_labels = labels_arr[emin]
+            for q in child_states:
+                dq = delta[q]
+                total = 0
+                for a in edge_labels:
+                    for p in dq.get(a, ()):
+                        total += runs.get(p, 0)
+                if total:
+                    child_runs[q] = total
+
+            chosen.append(emin)
+            stack.append(
+                (
+                    src_arr[emin],
+                    tuple(sorted(child_states)),
+                    remaining - 1,
+                    child_runs,
+                )
+            )
+    finally:
+        trimmed.restart_all()
+
+
+def _enumerate_with_runs_packed(
+    graph: Graph,
+    trimmed: TrimmedAnnotation,
+    cq: CompiledQuery,
+    lam: int,
+    target: int,
+    start_states: FrozenSet[int],
+    initial: set,
+) -> Iterator[Tuple[Walk, int]]:
+    """The packed-array twin of :func:`enumerate_with_runs`.
+
+    Identical DFS and output order over the packed trimmed cells (see
+    :func:`repro.core.enumerate._enumerate_packed`), with the same
+    per-frame suffix-run map ``M`` rolled backwards across each chosen
+    edge.
+    """
+    cells = trimmed.cells
+    n_states = cells.n_states
+    key_indptr = cells.key_indptr
+    cell_ti = cells.cell_ti
+    cell_edge = cells.cell_edge
+    cur = trimmed.cursor
+    cert_of = cells.cert
+    src_arr = graph.src_array
+    labels_arr = graph.label_array
+    delta = cq.delta
+
+    trimmed.acquire()
+    root_runs: Dict[int, int] = {f: 1 for f in start_states}
+    chosen: List[int] = []
+    # Frame: (vertex, certificate states, remaining, suffix-run map).
+    stack: List[Tuple[int, Tuple[int, ...], int, Dict[int, int]]] = [
+        (target, tuple(sorted(start_states)), lam, root_runs)
+    ]
+    try:
+        while stack:
+            u, states, remaining, runs = stack[-1]
+            if remaining == 0:
+                multiplicity = sum(
+                    c for q, c in runs.items() if q in initial
+                )
+                edges = tuple(reversed(chosen))
+                yield Walk.from_edges_unchecked(
+                    graph, edges, src_arr[edges[0]]
+                ), multiplicity
+                stack.pop()
+                chosen.pop()
+                continue
+
+            base = u * n_states
+            emin_c = -1
+            emin_ti = -1
+            for p in states:
+                k = base + p
+                c = cur[k]
+                if c < key_indptr[k + 1]:
+                    t = cell_ti[c]
+                    if emin_c < 0 or t < emin_ti:
+                        emin_c, emin_ti = c, t
+            if emin_c < 0:
+                for p in states:
+                    k = base + p
+                    cur[k] = key_indptr[k]
+                stack.pop()
+                if chosen:
+                    chosen.pop()
+                continue
+
+            child_states: set = set()
+            for p in states:
+                k = base + p
+                c = cur[k]
+                if c < key_indptr[k + 1] and cell_ti[c] == emin_ti:
+                    cur[k] = c + 1
+                    child_states.update(cert_of(c))
+            emin = cell_edge[emin_c]
 
             # Roll the run map backwards across emin: a run of the new
             # suffix starting in q picks a label a and a transition

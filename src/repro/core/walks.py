@@ -49,6 +49,29 @@ class Walk:
                     f"edges {e1} and {e2} do not concatenate"
                 )
 
+    @classmethod
+    def from_edges_unchecked(
+        cls,
+        graph: Graph,
+        edges: Tuple[int, ...],
+        start: int,
+    ) -> "Walk":
+        """Construct without per-edge validation — enumerator use only.
+
+        The enumeration loops build walks that concatenate by
+        construction (each edge is chosen from ``In(Src(previous))``),
+        so re-walking the edge list through the public constructor's
+        checks would double the per-output cost.  ``edges`` must
+        already be a tuple and ``start`` must equal
+        ``graph.src(edges[0])`` (or the intended start vertex for the
+        empty walk).
+        """
+        walk = cls.__new__(cls)
+        walk._graph = graph
+        walk._edges = edges
+        walk._start = start
+        return walk
+
     # -- structure ----------------------------------------------------------
 
     @property

@@ -16,10 +16,17 @@ right structure at each step:
 * :class:`~repro.datastructures.pairing_heap.PairingHeap` — a
   decrease-key priority queue for the Dijkstra traversal of the
   Distinct Cheapest Walks extension (Section 5.3 cites Fredman–Tarjan;
-  pairing heaps are the practical equivalent).
+  pairing heaps are the practical equivalent);
+* :class:`~repro.datastructures.packed.PackedBack` /
+  :class:`~repro.datastructures.packed.PackedCells` — the CSR-packed
+  annotation entry store and the packed ``Trim`` cell layout that flow
+  through the whole Annotate → Trim → Enumerate pipeline without
+  conversion (the primary ``L``/``B`` form since the packed-pipeline
+  refactor; the mapping views above are compatibility layers).
 """
 
 from repro.datastructures.cons_list import ConsList, cons, nil
+from repro.datastructures.packed import PackedBack, PackedCells
 from repro.datastructures.pairing_heap import HeapNode, PairingHeap
 from repro.datastructures.restartable_queue import RestartableQueue
 from repro.datastructures.resumable_index import ResumableIndex
@@ -30,6 +37,8 @@ __all__ = [
     "nil",
     "HeapNode",
     "PairingHeap",
+    "PackedBack",
+    "PackedCells",
     "RestartableQueue",
     "ResumableIndex",
 ]

@@ -1,0 +1,307 @@
+"""CSR-packed annotation storage — the interior of ``Annotate``'s output.
+
+The paper's ``B_u[p]`` maps (Lemma 10(2)) are conceptually a sparse
+three-dimensional table ``(vertex, state, TgtIdx) → [predecessor
+states]``.  The original implementation stored them as a
+dict-of-dicts-of-lists; this module packs the same data into four flat
+integer arrays, the layout the rest of the pipeline (``Trim``,
+``Enumerate``, ``NextOutput``, the counting DP) reads without any
+per-cell allocation:
+
+:class:`PackedBack` — the raw predecessor entries, one ``(TgtIdx,
+predecessor state)`` pair per witnessing transition, grouped by the
+flattened product node ``key = u·|Q| + p`` (ascending) and, within a
+key, by ascending ``TgtIdx``; entries of the same ``(key, TgtIdx)``
+cell keep their BFS/Dijkstra append order.  Built from the traversal's
+append-only entry log by a two-pass stable counting sort (LSD radix on
+``TgtIdx`` then ``key``), O(|entries| + |V|·|Q| + max-InDeg) — no
+comparison sort anywhere.  Remark 17's entry count is simply
+``len(ent_pred)``, an O(1) read.
+
+:class:`PackedCells` — the ``Trim`` product (paper, Figure 2 lines
+34-41) in the same spirit: one record per *non-empty cell* — the queue
+items ``(e, X)`` of Lemma 11 — as parallel arrays ``cell_ti`` /
+``cell_edge`` / ``cell_pred_indptr``, grouped per key in ascending
+``TgtIdx`` order.  Because :class:`PackedBack` already stores entries
+in exactly that order, the build is a single O(entries) pointer-slicing
+pass: no ``sorted()``, no tuple freezing.  Certificate tuples (the
+sorted, duplicate-free predecessor sets the enumerators union per tree
+edge) are materialized lazily per cell and cached in :attr:`certs` —
+a first-``k`` enumeration touches only the cells along its walks.
+
+One :class:`PackedCells` instance is shared by the eager
+:class:`~repro.core.trim.TrimmedAnnotation` (which adds a per-key
+cursor array), the read-only
+:class:`~repro.core.trim.ResumableAnnotation` (which adds nothing —
+the memoryless cursors live in the caller's frames) and the counting
+DP, so ``Trim`` and ``ResumableTrim`` cost O(entries) once per
+annotation *combined*.
+"""
+
+from __future__ import annotations
+
+from array import array
+from itertools import accumulate
+from typing import Dict, List, Optional, Tuple
+
+#: Legacy mapping forms (kept for the compatibility views).
+LengthMap = Dict[int, int]
+BackMap = Dict[int, Dict[int, List[int]]]
+
+
+class PackedBack:
+    """The packed ``B`` store: flat, grouped, TgtIdx-sorted entries.
+
+    ``ent_ti[i]`` / ``ent_pred[i]`` are the ``TgtIdx`` and predecessor
+    state of entry ``i``; entries of key ``k = u·|Q| + p`` occupy
+    ``key_indptr[k] : key_indptr[k+1]``.  ``nonempty_keys`` lists the
+    keys with at least one entry, ascending — iteration helpers skip
+    the (typically vast) empty majority of the key space.
+    """
+
+    __slots__ = ("n", "n_states", "key_indptr", "ent_ti", "ent_pred",
+                 "nonempty_keys")
+
+    def __init__(
+        self,
+        n: int,
+        n_states: int,
+        key_indptr: array,
+        ent_ti: array,
+        ent_pred: array,
+        nonempty_keys: List[int],
+    ) -> None:
+        self.n = n
+        self.n_states = n_states
+        self.key_indptr = key_indptr
+        self.ent_ti = ent_ti
+        self.ent_pred = ent_pred
+        self.nonempty_keys = nonempty_keys
+
+    def __len__(self) -> int:
+        """Total predecessor entries — Remark 17's quantity, O(1)."""
+        return len(self.ent_pred)
+
+    @classmethod
+    def from_entries(
+        cls,
+        n: int,
+        n_states: int,
+        ent_key: array,
+        ent_ti: array,
+        ent_pred: array,
+    ) -> "PackedBack":
+        """Pack a traversal's append-order entry log.
+
+        Two stable counting-sort passes (LSD radix): first by
+        ``TgtIdx``, then by key — so the result is grouped by key with
+        ``TgtIdx`` ascending inside each key and append order preserved
+        inside each cell.  The input arrays are consumed (reused as the
+        output storage of the second pass).
+        """
+        m = len(ent_key)
+        n_keys = n * n_states
+        if not m:
+            key_indptr = array("q", bytes(8 * (n_keys + 1)))
+            return cls(n, n_states, key_indptr, array("q"), array("q"), [])
+
+        # Pass 1 — stable counting sort by TgtIdx.
+        max_ti = max(ent_ti)
+        offsets = list(accumulate(
+            _bucket_counts(ent_ti, max_ti + 1), initial=0
+        ))
+        by_ti_key = array("q", ent_key)
+        by_ti_ti = array("q", ent_ti)
+        by_ti_pred = array("q", ent_pred)
+        for i in range(m):
+            t = ent_ti[i]
+            pos = offsets[t]
+            offsets[t] = pos + 1
+            by_ti_key[pos] = ent_key[i]
+            by_ti_ti[pos] = t
+            by_ti_pred[pos] = ent_pred[i]
+
+        # Pass 2 — stable counting sort by key.  Only touched keys are
+        # counted in Python; the prefix sum over the full (dense) key
+        # space runs in C via itertools.accumulate.
+        counts = array("q", bytes(8 * n_keys))
+        seen = set()
+        seen_add = seen.add
+        for k in by_ti_key:
+            counts[k] += 1
+            seen_add(k)
+        key_indptr = array("q", accumulate(counts, initial=0))
+        fill = key_indptr[:n_keys]
+        out_ti = ent_ti  # reuse — every slot is overwritten below
+        out_pred = ent_pred
+        for i in range(m):
+            k = by_ti_key[i]
+            pos = fill[k]
+            fill[k] = pos + 1
+            out_ti[pos] = by_ti_ti[i]
+            out_pred[pos] = by_ti_pred[i]
+        return cls(n, n_states, key_indptr, out_ti, out_pred, sorted(seen))
+
+    @classmethod
+    def from_maps(cls, n: int, n_states: int, B: List[BackMap]) -> "PackedBack":
+        """Pack a legacy dict-of-dicts ``B`` (the reference traversals
+        and the Dijkstra variant build these).  Deterministic: keys
+        ascending, cells in ``TgtIdx`` order, predecessor lists kept in
+        their recorded order."""
+        ent_key = array("q")
+        ent_ti = array("q")
+        ent_pred = array("q")
+        counts = array("q", bytes(8 * (n * n_states)))
+        nonempty: List[int] = []
+        for u in range(min(n, len(B))):
+            base = u * n_states
+            per_state = B[u]
+            for p in sorted(per_state):
+                cells = per_state[p]
+                k = base + p
+                total = 0
+                for ti in sorted(cells):
+                    preds = cells[ti]
+                    for q in preds:
+                        ent_key.append(k)
+                        ent_ti.append(ti)
+                        ent_pred.append(q)
+                    total += len(preds)
+                if total:
+                    counts[k] = total
+                    nonempty.append(k)
+        key_indptr = array("q", accumulate(counts, initial=0))
+        return cls(n, n_states, key_indptr, ent_ti, ent_pred, nonempty)
+
+    # -- compatibility ---------------------------------------------------
+
+    def to_maps(self) -> List[BackMap]:
+        """Materialize the documented ``B[u][p][i]`` dict-of-dicts view.
+
+        Cell lists reproduce the traversal's append order (including
+        duplicates), so the view is indistinguishable from the maps the
+        pre-packed implementation built in place.
+        """
+        B: List[BackMap] = [{} for _ in range(self.n)]
+        key_indptr = self.key_indptr
+        ent_ti = self.ent_ti
+        ent_pred = self.ent_pred
+        n_states = self.n_states
+        for k in self.nonempty_keys:
+            lo, hi = key_indptr[k], key_indptr[k + 1]
+            if lo == hi:
+                continue
+            cells: Dict[int, List[int]] = {}
+            i = lo
+            while i < hi:
+                t = ent_ti[i]
+                j = i + 1
+                while j < hi and ent_ti[j] == t:
+                    j += 1
+                cells[t] = list(ent_pred[i:j])
+                i = j
+            B[k // n_states][k % n_states] = cells
+        return B
+
+
+def _bucket_counts(values: array, size: int) -> array:
+    counts = array("q", bytes(8 * size))
+    for v in values:
+        counts[v] += 1
+    return counts
+
+
+class PackedCells:
+    """The packed ``Trim`` product — Lemma 11's queues as flat arrays.
+
+    Cell ``c`` (a non-empty ``(u, p, TgtIdx)`` triple) has
+
+    * ``cell_ti[c]`` — its ``TgtIdx`` (strictly increasing within a
+      key: Lemma 11(2));
+    * ``cell_edge[c]`` — the in-edge ``In(u)[TgtIdx]``, resolved once
+      at build time;
+    * predecessor entries ``back.ent_pred[cell_pred_indptr[c] :
+      cell_pred_indptr[c+1]]`` — a zero-copy slice of the annotation's
+      entry store (raw append order, duplicates preserved);
+    * ``certs[c]`` — the sorted duplicate-free certificate tuple, built
+      lazily on first use and cached (`None` until then).
+
+    Cells of key ``k`` occupy ``key_indptr[k] : key_indptr[k+1]``;
+    because keys are packed in ascending order, ``cell_pred_indptr`` is
+    globally non-decreasing and one sentinel slot suffices.
+    """
+
+    __slots__ = ("graph", "back", "n", "n_states", "key_indptr",
+                 "cell_ti", "cell_edge", "cell_pred_indptr", "certs")
+
+    def __init__(self, graph, back: PackedBack) -> None:
+        self.graph = graph
+        self.back = back
+        self.n = back.n
+        self.n_states = back.n_states
+        n_keys = back.n * back.n_states
+        key_indptr_src = back.key_indptr
+        ent_ti = back.ent_ti
+        in_array = graph.in_array
+        n_states = back.n_states
+
+        cell_ti = array("q")
+        cell_edge = array("q")
+        # Entries are globally contiguous in cell order (keys ascending,
+        # cells in entry order), so per-cell spans are one indptr array:
+        # cell c's entries are [cell_pred_indptr[c], cell_pred_indptr[c+1]).
+        cell_pred_indptr = array("q")
+        counts = array("q", bytes(8 * n_keys))
+        ti_append = cell_ti.append
+        edge_append = cell_edge.append
+        span_append = cell_pred_indptr.append
+        for k in back.nonempty_keys:
+            lo, hi = key_indptr_src[k], key_indptr_src[k + 1]
+            if lo == hi:
+                continue
+            in_list = in_array[k // n_states]
+            n_cells = 0
+            i = lo
+            while i < hi:
+                t = ent_ti[i]
+                ti_append(t)
+                edge_append(in_list[t])
+                span_append(i)
+                n_cells += 1
+                i += 1
+                while i < hi and ent_ti[i] == t:
+                    i += 1
+            counts[k] = n_cells
+        span_append(len(ent_ti))
+        self.key_indptr = array("q", accumulate(counts, initial=0))
+        self.cell_ti = cell_ti
+        self.cell_edge = cell_edge
+        self.cell_pred_indptr = cell_pred_indptr
+        self.certs: List[Optional[Tuple[int, ...]]] = [None] * len(cell_ti)
+
+    # -- queries ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of stored cells (= Trim queue items), O(1)."""
+        return len(self.cell_ti)
+
+    def cert(self, c: int) -> Tuple[int, ...]:
+        """The certificate tuple of cell ``c`` — sorted, deduplicated,
+        cached after the first call."""
+        t = self.certs[c]
+        if t is None:
+            indptr = self.cell_pred_indptr
+            lo, hi = indptr[c], indptr[c + 1]
+            preds = self.back.ent_pred
+            if hi == lo + 1:
+                t = (preds[lo],)
+            else:
+                t = tuple(sorted(set(preds[lo:hi])))
+            self.certs[c] = t
+        return t
+
+    def raw_preds(self, c: int) -> Tuple[int, ...]:
+        """Cell ``c``'s predecessor list in append order, duplicates
+        kept — the payload the legacy mapping views expose."""
+        indptr = self.cell_pred_indptr
+        return tuple(self.back.ent_pred[indptr[c]:indptr[c + 1]])

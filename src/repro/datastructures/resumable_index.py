@@ -46,15 +46,38 @@ class ResumableIndex(Generic[P]):
             )
         self._size = size
         self._payloads: Dict[int, P] = dict(cells)
-        # _next[i] = smallest non-empty index >= i; sentinel `size` means
-        # "none".  One extra slot so that seek(size) is well-defined.
+        self._next = self._build_next(size, self._payloads)
+
+    @staticmethod
+    def _build_next(size: int, present) -> List[int]:
+        """The skip-pointer array: ``_next[i]`` = smallest non-empty
+        index ``>= i``; sentinel ``size`` means "none".  One extra slot
+        so that ``seek(size)`` is well-defined."""
         nxt: List[int] = [size] * (size + 1)
         following = size
         for i in range(size - 1, -1, -1):
-            if i in self._payloads:
+            if i in present:
                 following = i
             nxt[i] = following
-        self._next = nxt
+        return nxt
+
+    @classmethod
+    def from_sorted(
+        cls, size: int, indices: List[int], payloads: List[P]
+    ) -> "ResumableIndex[P]":
+        """Build from parallel (ascending, in-range) index/payload lists.
+
+        The packed-slice constructor used by
+        :mod:`repro.core.trim`'s compatibility views: the caller's cell
+        indices are already validated and sorted (they come straight
+        off the packed annotation arrays), so the per-key dict copy and
+        range checks of ``__init__`` are skipped.
+        """
+        idx: "ResumableIndex[P]" = cls.__new__(cls)
+        idx._size = size
+        idx._payloads = dict(zip(indices, payloads))
+        idx._next = cls._build_next(size, set(indices))
+        return idx
 
     # -- queries ----------------------------------------------------------
 

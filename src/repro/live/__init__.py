@@ -33,7 +33,15 @@ what makes *fine-grained* cache invalidation sound — a cached
 saturated annotation addresses predecessor cells positionally by
 ``TgtIdx``, so an annotation whose automaton cannot fire on any label
 a batch touched is still byte-for-byte valid afterwards and is **kept
-warm** instead of evicted.  :meth:`repro.api.Database.mutate` evicts
+warm** instead of evicted.  Since the packed-pipeline refactor those
+cached annotations *are* flat CSR-packed arrays (``TgtIdx`` and edge
+ids baked into the shared trim cells — see
+:mod:`repro.datastructures.packed`), which is precisely the
+representation the invariant keeps valid: retained entries stay
+correct positionally with no per-cell re-validation, and vertices
+added after the annotation was built are provably unreachable for it
+(:meth:`~repro.core.annotate.Annotation.target_info` answers "no
+matching walk" beyond the packed vertex range).  :meth:`repro.api.Database.mutate` evicts
 only the entries whose label footprint
 (:func:`~repro.live.live_graph.query_label_footprint`) intersects the
 batch's ``touched_labels`` (plans: only ``new_labels`` — compilation

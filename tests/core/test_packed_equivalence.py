@@ -1,0 +1,200 @@
+"""Packed pipeline vs the reference (mapping-form) pipeline.
+
+The packed-pipeline refactor keeps ``L``/``B`` in flat CSR-packed
+arrays end-to-end; :func:`annotate_reference` still builds the mapping
+form natively, and every downstream stage retains a mapping-driven
+path.  These property tests pin the two pipelines together:
+
+* **annotation contents** — the packed annotation's compatibility
+  views (``L``, ``B``, entry counts, ``target_info``) must equal the
+  reference annotation's maps exactly (including within-cell order and
+  duplicates, which the views are documented to preserve);
+* **structure contents** — the packed ``Trim``/``ResumableTrim``
+  compatibility views must match a trim of the reference annotation
+  queue-for-queue and payload-for-payload;
+* **enumeration order** — the packed eager DFS, the recursive
+  transcription (which runs over the compatibility queue view), the
+  packed memoryless ``NextOutput`` *and* the full reference pipeline
+  (mapping annotation → dict trim → queue-object DFS) must emit the
+  identical walk sequence, for both the target and the saturated
+  (multi-target) mode.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+
+from repro.core.annotate import annotate, annotate_reference
+from repro.core.compile import compile_query
+from repro.core.count import count_distinct_shortest
+from repro.core.enumerate import enumerate_walks, enumerate_walks_recursive
+from repro.core.memoryless import enumerate_memoryless
+from repro.core.trim import resumable_trim, trim
+
+from tests.conftest import small_instances
+
+_SETTINGS = dict(max_examples=60, deadline=None)
+
+
+def _edges(walks):
+    return [w.edges for w in walks]
+
+
+class TestAnnotationViews:
+    @given(small_instances())
+    @settings(**_SETTINGS)
+    def test_views_equal_reference_maps(self, instance):
+        """``L``/``B`` views reproduce the reference maps verbatim."""
+        graph, nfa, s, t = instance
+        cq = compile_query(graph, nfa)
+        for saturate in (False, True):
+            packed = annotate(cq, s, t, saturate=saturate)
+            ref = annotate_reference(cq, s, t, saturate=saturate)
+            assert packed.packed is not None
+            assert ref.packed is None
+            assert packed.lam == ref.lam
+            assert packed.target_states == ref.target_states
+            assert packed.L == ref.L
+            # Exact equality: same cells, same within-cell order and
+            # duplicates (dict key order is not part of the contract).
+            assert packed.B == ref.B
+            assert (
+                packed.annotation_entries() == ref.annotation_entries()
+            )
+
+    @given(small_instances())
+    @settings(**_SETTINGS)
+    def test_target_info_off_packed_arrays(self, instance):
+        """Saturated ``target_info`` agrees with the reference's."""
+        graph, nfa, s, _ = instance
+        cq = compile_query(graph, nfa)
+        packed = annotate(cq, s, saturate=True)
+        ref = annotate_reference(cq, s, saturate=True)
+        for v in graph.vertices():
+            assert packed.target_info(v) == ref.target_info(v)
+        beyond = graph.vertex_count + 3
+        assert packed.target_info(beyond) == (None, frozenset())
+
+    @given(small_instances())
+    @settings(**_SETTINGS)
+    def test_entry_count_is_packed_length(self, instance):
+        """Satellite: the O(1) count equals the exhaustive sum."""
+        graph, nfa, s, t = instance
+        cq = compile_query(graph, nfa)
+        ann = annotate(cq, s, t)
+        exhaustive = sum(
+            len(preds)
+            for vertex_map in ann.B
+            for cells in vertex_map.values()
+            for preds in cells.values()
+        )
+        assert ann.annotation_entries() == exhaustive
+        assert len(ann.packed) == exhaustive
+
+
+class TestTrimViews:
+    @given(small_instances())
+    @settings(**_SETTINGS)
+    def test_queues_match_reference_trim(self, instance):
+        """Packed trim's queue view == dict trim of the reference."""
+        graph, nfa, s, _ = instance
+        cq = compile_query(graph, nfa)
+        packed_trim = trim(graph, annotate(cq, s, saturate=True))
+        ref_trim = trim(graph, annotate_reference(cq, s, saturate=True))
+        assert packed_trim.cells is not None
+        assert ref_trim.cells is None
+        assert packed_trim.total_items() == ref_trim.total_items()
+        for u in graph.vertices():
+            assert set(packed_trim.queues[u]) == set(ref_trim.queues[u])
+            for p, ref_queue in ref_trim.queues[u].items():
+                assert list(packed_trim.queue(u, p)) == list(ref_queue)
+
+    @given(small_instances())
+    @settings(**_SETTINGS)
+    def test_resumable_matches_reference(self, instance):
+        graph, nfa, s, _ = instance
+        cq = compile_query(graph, nfa)
+        packed_res = resumable_trim(graph, annotate(cq, s, saturate=True))
+        ref_res = resumable_trim(
+            graph, annotate_reference(cq, s, saturate=True)
+        )
+        assert packed_res.total_items() == ref_res.total_items()
+        for u in graph.vertices():
+            assert set(packed_res.index[u]) == set(ref_res.index[u])
+            for p, ref_idx in ref_res.index[u].items():
+                got = packed_res.for_state(u, p)
+                assert got.non_empty_indices() == ref_idx.non_empty_indices()
+                for i in ref_idx.non_empty_indices():
+                    assert got.payload(i) == ref_idx.payload(i)
+
+
+class TestEnumerationOrder:
+    @given(small_instances())
+    @settings(**_SETTINGS)
+    def test_all_pipelines_identical_order(self, instance):
+        """Packed eager / recursive-view / packed memoryless / full
+        reference pipeline: one output sequence."""
+        graph, nfa, s, t = instance
+        cq = compile_query(graph, nfa)
+
+        ann = annotate(cq, s, t)
+        trimmed = trim(graph, ann)
+        eager = _edges(
+            enumerate_walks(graph, trimmed, ann.lam, t, ann.target_states)
+        )
+        memoryless = _edges(
+            enumerate_memoryless(
+                graph, resumable_trim(graph, ann), ann.lam, t,
+                ann.target_states,
+            )
+        )
+        # The recursive transcription materializes the compatibility
+        # queue view on a fresh trim (cursors are shared state).
+        rec_trimmed = trim(graph, ann).snapshot()
+        recursive = _edges(
+            enumerate_walks_recursive(
+                graph, rec_trimmed, ann.lam, t, ann.target_states
+            )
+        )
+
+        ref_ann = annotate_reference(cq, s, t)
+        ref_trimmed = trim(graph, ref_ann)
+        reference = _edges(
+            enumerate_walks(
+                graph, ref_trimmed, ref_ann.lam, t, ref_ann.target_states
+            )
+        )
+
+        assert eager == reference
+        assert memoryless == reference
+        assert recursive == reference
+        if ann.lam is not None:
+            assert len(reference) == count_distinct_shortest(
+                graph, ann, ann.lam, t, ann.target_states
+            )
+
+    @given(small_instances())
+    @settings(**_SETTINGS)
+    def test_saturated_order_per_target(self, instance):
+        """Multi-target mode: per-target order equality, packed vs
+        reference, eager and memoryless."""
+        graph, nfa, s, _ = instance
+        cq = compile_query(graph, nfa)
+        ann = annotate(cq, s, saturate=True)
+        ref_ann = annotate_reference(cq, s, saturate=True)
+        trimmed = trim(graph, ann)
+        ref_trimmed = trim(graph, ref_ann)
+        resumable = resumable_trim(graph, ann)
+        for v in graph.vertices():
+            lam_v, states_v = ann.target_info(v)
+            assert (lam_v, states_v) == ref_ann.target_info(v)
+            got = _edges(
+                enumerate_walks(graph, trimmed, lam_v, v, states_v)
+            )
+            want = _edges(
+                enumerate_walks(graph, ref_trimmed, lam_v, v, states_v)
+            )
+            assert got == want
+            assert want == _edges(
+                enumerate_memoryless(graph, resumable, lam_v, v, states_v)
+            )

@@ -25,6 +25,13 @@ paper to produce the same DFS order (children by increasing
 ``TgtIdx``), and ``auto`` joins them whenever it dispatches to the
 general engine (the simple-setting fast path may reorder).
 
+Since the packed-pipeline refactor the engine modes all execute over
+the CSR-packed annotation arrays; every case therefore also replays
+through the retained *mapping-form* pipeline (``annotate_reference`` →
+dict ``Trim`` → queue-object DFS) and must match it in λ **and**
+output order — the packed layout is checked to be behaviorally
+invisible on every random instance.
+
 On top of the four engine modes, every case runs once more through
 the ``repro.api`` **façade** (``Database(graph).query(...)``) — the
 path the service, the ``RPQ`` helpers and the CLI all share now — and
@@ -50,7 +57,11 @@ import pytest
 
 from repro.api import Database
 from repro.baselines.oracle import oracle_answer_set, oracle_lam
+from repro.core.annotate import annotate_reference
+from repro.core.compile import compile_query
 from repro.core.engine import DistinctShortestWalks
+from repro.core.enumerate import enumerate_walks
+from repro.core.trim import trim
 from repro.graph.builder import GraphBuilder
 from repro.graph.database import Graph
 from repro.query import rpq
@@ -166,6 +177,27 @@ def test_modes_agree(case: int) -> None:
     # general modes share the DFS order…
     assert outputs["iterative"] == outputs["recursive"], context
     assert outputs["iterative"] == outputs["memoryless"], context
+
+    # The packed column: the engines above all ran on the packed
+    # annotation pipeline (flat L/B arrays end-to-end); replay the case
+    # through the retained mapping-form pipeline (reference annotate →
+    # dict trim → queue-object DFS) and hold both content *and* order
+    # identical.  This is the guard that the packed representation is a
+    # pure layout change.
+    ref_cq = compile_query(graph, nfa)
+    ref_ann = annotate_reference(ref_cq, source, target)
+    ref_trimmed = trim(graph, ref_ann)
+    assert ref_ann.packed is None and ref_trimmed.cells is None, context
+    reference_edges = [
+        w.edges
+        for w in enumerate_walks(
+            graph, ref_trimmed, ref_ann.lam, target, ref_ann.target_states
+        )
+    ]
+    assert ref_ann.lam == lam, f"reference pipeline λ mismatch ({context})"
+    assert reference_edges == outputs["iterative"], (
+        f"packed pipeline order differs from the mapping pipeline ({context})"
+    )
     # …and "auto" joins them unless the fast path (different traversal
     # order, same set — already checked above) was selected.
     auto_engine = DistinctShortestWalks(

@@ -22,7 +22,12 @@ Per query step, the façade's answers on the live graph are checked in
 * **order** — the rendered output *sequence* matches the oracle's DFS
   order (the no-reindexing invariant keeps live ``TgtIdx`` order
   aligned with the rebuild's insertion order), and the two live modes
-  agree edge-for-edge.
+  agree edge-for-edge;
+* **packed column** — the façade's (possibly cached-across-mutations)
+  CSR-packed annotations are replayed cold through the retained
+  mapping-form pipeline on the same live graph, raw edge id for raw
+  edge id: stale-but-kept packed cache entries and packed/dict layout
+  divergences both fail here.
 
 Walks are compared by rendering each edge as
 ``(src name, tgt name, label names)`` because edge *ids* legitimately
@@ -46,7 +51,11 @@ from typing import List, Tuple
 import pytest
 
 from repro.api import Database
+from repro.core.annotate import annotate_reference
+from repro.core.compile import compile_query
 from repro.core.engine import DistinctShortestWalks
+from repro.core.enumerate import enumerate_walks
+from repro.core.trim import trim
 from repro.graph.builder import GraphBuilder
 from repro.graph.database import Graph
 from repro.live import (
@@ -212,6 +221,32 @@ def test_interleaving(case: int) -> None:
             per_mode[mode] = edges
         # The two live modes agree edge-for-edge.
         assert per_mode["iterative"] == per_mode["memoryless"], context
+
+        # The packed column: the façade answers above came from packed
+        # annotations (possibly *cached* across earlier mutation
+        # batches — exactly the entries fine-grained invalidation chose
+        # to keep).  Replay the query cold on the live graph through
+        # the retained mapping-form pipeline and hold raw-edge-id order
+        # identical: a stale-but-kept packed annotation or a packed/
+        # dict layout divergence both fail here.
+        ref_cq = compile_query(live, nfas[expression])
+        ref_ann = annotate_reference(
+            ref_cq, live.resolve_vertex(source), live.resolve_vertex(target)
+        )
+        assert ref_ann.lam == oracle_lam, f"reference λ ({context})"
+        ref_edges = [
+            w.edges
+            for w in enumerate_walks(
+                live,
+                trim(live, ref_ann),
+                ref_ann.lam,
+                live.resolve_vertex(target),
+                ref_ann.target_states,
+            )
+        ]
+        assert ref_edges == per_mode["iterative"], (
+            f"packed cached pipeline differs from mapping replay ({context})"
+        )
 
     # The interleaving draw must exercise both kinds of step over the
     # suite; individual cases may legitimately be query- or
