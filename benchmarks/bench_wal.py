@@ -1,0 +1,286 @@
+"""EXP-WAL — group-commit durability overhead + recovery cost.
+
+The durability claim behind :mod:`repro.wal`: making every mutation
+batch crash-safe (length+CRC-framed append, fsync policy) costs less
+than 2× end-to-end on the EXP-LIVE mixed read/write workload when the
+default **group-commit** window amortizes the disk barriers — i.e.
+``speedup = t_plain / t_wal ≥ 0.5`` (the floor tracked by
+``check_floors.py``; higher is better, 1.0 = free).
+
+Both sides execute the *identical* sequence through the same façade:
+warm a repeated query mix, then K times {apply a small write batch;
+re-run the mix}.  The plain side is ``Database(LiveGraph(graph))``;
+the durable side is ``Database.open(wal_dir, ...)`` — same graph, same
+batches, plus the write-ahead hook.  The ``sync="always"`` policy
+(one fsync per batch) is measured too, but reported informationally
+(disk-barrier latency on shared runners is not a claim this repo
+makes).  A second table measures ``recover()`` wall time against log
+length — the replay-scales-with-the-tail story behind snapshots.
+
+Deterministic assertions (always on):
+
+* the durable side's answers equal the plain side's, page for page;
+* after the run, recovery of the WAL directory reproduces the final
+  graph state exactly (name-wise);
+* the log's record count equals the number of applied batches plus
+  compactions — nothing dropped, nothing duplicated.
+
+The ≥0.5× bar is asserted under ``BENCH_WAL_STRICT=1`` (the default;
+CI sets 0 on shared runners).  ``BENCH_WAL_JSON`` dumps the measured
+rows — that is how ``BENCH_wal.json`` at the repo root is produced.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import shutil
+import tempfile
+import time
+from typing import Dict, List, Tuple
+
+from repro.api import Database
+from repro.live import LiveGraph
+from repro.wal.frames import scan_file
+from repro.wal.recovery import recover
+from repro.wal.writer import LOG_NAME
+from repro.workloads.transport import TRANSPORT_QUERIES, transport_network
+
+SPEEDUP_TARGET = 0.5  # WAL'd apply+requery within 2x of plain.
+STRICT = os.environ.get("BENCH_WAL_STRICT", "1") != "0"
+
+N_BATCHES = 8
+OPS_PER_BATCH = 4
+
+
+def _workload():
+    n = 96
+    graph = transport_network(n_cities=n, hub_fraction=0.2, seed=7)
+    rng = random.Random(13)
+    mix = [
+        (expression, f"city{s}", f"city{10 * t}", 4)
+        for expression in (
+            TRANSPORT_QUERIES["ground_only"],
+            TRANSPORT_QUERIES["fly_then_ground"],
+            TRANSPORT_QUERIES["no_bus"],
+        )
+        for s in range(3)
+        for t in (1, 3)
+    ]
+    batches = [
+        [
+            {
+                "op": "add_edge",
+                "src": f"city{rng.randrange(n)}",
+                "tgt": f"city{rng.randrange(n)}",
+                "labels": ["ferry"],
+                "cost": rng.randint(5, 20),
+            }
+            for _ in range(OPS_PER_BATCH)
+        ]
+        for _ in range(N_BATCHES)
+    ]
+    return graph, mix, batches
+
+
+def _run_mix(db: Database, mix) -> None:
+    for expression, source, target, limit in mix:
+        db.query(expression).from_(source).to(target).limit(limit).run()
+
+
+def _pages_rendered(db: Database, mix) -> List:
+    graph = db._handle(None).graph
+    rendered = []
+    for expression, source, target, limit in mix:
+        rs = (
+            db.query(expression).from_(source).to(target).limit(limit).run()
+        )
+        rendered.append(
+            [
+                [
+                    (
+                        graph.vertex_name(graph.src(e)),
+                        graph.vertex_name(graph.tgt(e)),
+                        graph.label_names_of(e),
+                    )
+                    for e in row.walk.edges
+                ]
+                for row in rs
+            ]
+        )
+    return rendered
+
+
+def _apply_requery(db: Database, mix, batches) -> float:
+    """Seconds for the timed {mutate; re-query} loop (pre-warmed)."""
+    _run_mix(db, mix)  # Warm.
+    t0 = time.perf_counter()
+    for ops in batches:
+        db.mutate(ops, compact=False)
+        _run_mix(db, mix)
+    return time.perf_counter() - t0
+
+
+def _plain_side(graph, mix, batches) -> Tuple[float, List]:
+    db = Database(LiveGraph(graph))
+    elapsed = _apply_requery(db, mix, batches)
+    return elapsed, _pages_rendered(db, mix)
+
+
+def _wal_side(graph, mix, batches, sync: str) -> Tuple[float, List, str]:
+    wal_dir = tempfile.mkdtemp(prefix=f"bench-wal-{sync}-")
+    db = Database.open(wal_dir, graph=graph, sync=sync, group_window_ms=50.0)
+    try:
+        elapsed = _apply_requery(db, mix, batches)
+        pages = _pages_rendered(db, mix)
+    finally:
+        db.close()
+    return elapsed, pages, wal_dir
+
+
+def _median(times: List[float]) -> float:
+    return sorted(times)[len(times) // 2]
+
+
+def _recovery_scaling(graph, batches) -> List[Dict]:
+    """recover() wall time against log length (no snapshots past 0)."""
+    rows = []
+    for n_batches in (N_BATCHES, N_BATCHES * 4, N_BATCHES * 16):
+        wal_dir = tempfile.mkdtemp(prefix="bench-wal-recovery-")
+        try:
+            db = Database.open(wal_dir, graph=graph, sync="none")
+            for i in range(n_batches):
+                db.mutate(batches[i % len(batches)], compact=False)
+            db.close()
+            t0 = time.perf_counter()
+            state = recover(wal_dir)
+            elapsed = time.perf_counter() - t0
+            rows.append(
+                {
+                    "records": state.last_lsn,
+                    "log_bytes": os.path.getsize(
+                        os.path.join(wal_dir, LOG_NAME)
+                    ),
+                    "recover_s": round(elapsed, 4),
+                }
+            )
+        finally:
+            shutil.rmtree(wal_dir, ignore_errors=True)
+    return rows
+
+
+def test_group_commit_overhead(benchmark, print_table):
+    graph, mix, batches = _workload()
+
+    plain_times, wal_times, always_times = [], [], []
+    plain_pages = wal_pages = always_pages = None
+    wal_dirs: List[str] = []
+    for _ in range(3):
+        t, plain_pages = _plain_side(graph, mix, batches)
+        plain_times.append(t)
+        t, wal_pages, wal_dir = _wal_side(graph, mix, batches, "group")
+        wal_times.append(t)
+        wal_dirs.append(wal_dir)
+        t, always_pages, always_dir = _wal_side(
+            graph, mix, batches, "always"
+        )
+        always_times.append(t)
+        shutil.rmtree(always_dir, ignore_errors=True)
+
+    # Durability must not change a single answer.
+    assert wal_pages == plain_pages
+    assert always_pages == plain_pages
+
+    # The log of the last group-commit run holds exactly the applied
+    # batches (compaction was suppressed), and recovery reproduces the
+    # final state the façade served from.
+    scan = scan_file(os.path.join(wal_dirs[-1], LOG_NAME))
+    assert scan.last_lsn == N_BATCHES, scan.last_lsn
+    assert not scan.torn
+    state = recover(wal_dirs[-1])
+    recovered = Database(state.graph)
+    assert _pages_rendered(recovered, mix) == wal_pages
+    for wal_dir in wal_dirs:
+        shutil.rmtree(wal_dir, ignore_errors=True)
+
+    plain_s = _median(plain_times)
+    wal_s = _median(wal_times)
+    always_s = _median(always_times)
+    speedup = plain_s / wal_s if wal_s else float("inf")
+    rows = [
+        {
+            "workload": "transport/group-commit",
+            "batches": f"{N_BATCHES}x{OPS_PER_BATCH} ops",
+            "plain_s": round(plain_s, 4),
+            "wal_s": round(wal_s, 4),
+            "speedup": round(speedup, 2),
+        }
+    ]
+    fsync_always = {
+        "wal_s": round(always_s, 4),
+        "speedup": round(plain_s / always_s if always_s else 0.0, 2),
+    }
+    recovery_rows = _recovery_scaling(graph, batches)
+
+    print_table(
+        "EXP-WAL: apply+requery with group-commit WAL vs no WAL "
+        "(speedup = plain/wal; 1.0 = free, floor 0.5 = within 2x), "
+        "median of 3",
+        list(rows[0].keys()),
+        [list(r.values()) for r in rows]
+        + [
+            [
+                "transport/fsync-always (info)",
+                f"{N_BATCHES}x{OPS_PER_BATCH} ops",
+                round(plain_s, 4),
+                fsync_always["wal_s"],
+                fsync_always["speedup"],
+            ]
+        ],
+    )
+    print_table(
+        "EXP-WAL (b): recovery wall time vs log length "
+        "(snapshot at lsn 0 only — pure tail replay)",
+        list(recovery_rows[0].keys()),
+        [list(r.values()) for r in recovery_rows],
+    )
+
+    out = os.environ.get("BENCH_WAL_JSON")
+    if out:
+        with open(out, "w", encoding="utf-8") as fh:
+            json.dump(
+                {
+                    "experiment": "EXP-WAL",
+                    "speedup_target": SPEEDUP_TARGET,
+                    "batches": N_BATCHES,
+                    "ops_per_batch": OPS_PER_BATCH,
+                    "rows": rows,
+                    "fsync_always": fsync_always,
+                    "recovery": recovery_rows,
+                },
+                fh,
+                indent=2,
+            )
+            fh.write("\n")
+
+    # The pedantic timer re-times one durable {mutate; requery} round.
+    wal_dir = tempfile.mkdtemp(prefix="bench-wal-timer-")
+    db = Database.open(wal_dir, graph=graph, sync="group")
+    try:
+        _run_mix(db, mix)
+        benchmark.pedantic(
+            lambda: (db.mutate(batches[0], compact=False), _run_mix(db, mix)),
+            iterations=1,
+            rounds=3,
+        )
+    finally:
+        db.close()
+        shutil.rmtree(wal_dir, ignore_errors=True)
+
+    if STRICT and speedup < SPEEDUP_TARGET:
+        raise AssertionError(
+            f"group-commit WAL overhead above the EXP-WAL bar: "
+            f"{speedup:.2f}x < {SPEEDUP_TARGET}x (plain {plain_s:.4f}s, "
+            f"wal {wal_s:.4f}s)"
+        )

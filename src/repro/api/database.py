@@ -188,6 +188,9 @@ class Database:
             )
         self._graphs: Dict[str, _GraphHandle] = {}
         self._graphs_lock = threading.Lock()
+        # Per-name WAL writers (durable entries only; see
+        # register_durable).  Guarded by _graphs_lock.
+        self._wal_writers: Dict[str, Any] = {}
         # Database-wide monotone version counter — never reset, not
         # even across unregister/register cycles, so a stale in-flight
         # cache build can never collide with a fresh key.
@@ -253,11 +256,18 @@ class Database:
         coherent (the eviction subscriber is registered before any
         standing query can be, and feed delivery is in subscription
         order)."""
+        stale_writer = None
         with self._graphs_lock:
             self._next_version += 1
             version = self._next_version
             old = self._graphs.get(name)
             replacing = old is not None
+            # A durable entry keeps its writer across *re*-registration
+            # of the same LiveGraph object (the compaction path in
+            # _on_mutation does exactly that); replacing the name with
+            # a different graph orphans the old log — close it.
+            if old is not None and old.graph is not graph:
+                stale_writer = self._wal_writers.pop(name, None)
             handle = _GraphHandle(name, graph, version)
             self._graphs[name] = handle
             # Swap the feed subscription inside the registry lock so
@@ -273,6 +283,10 @@ class Database:
                     lambda batch: self._on_mutation(handle, batch),
                     front=True,
                 )
+        if stale_writer is not None:
+            if isinstance(old.graph, LiveGraph):
+                old.graph.detach_wal()
+            stale_writer.close()
         if replacing:
             # Purge entries of every *older* version of this graph — a
             # racing query may already have inserted entries for the
@@ -287,7 +301,11 @@ class Database:
         return version
 
     def unregister(self, name: str) -> None:
-        """Remove a graph and purge its cached artifacts."""
+        """Remove a graph and purge its cached artifacts.
+
+        A durable entry's WAL writer is flushed, fsync'd and closed
+        (its hook detached), so the log ends on a clean frame.
+        """
         with self._graphs_lock:
             handle = self._graphs.get(name)
             if handle is None:
@@ -295,8 +313,176 @@ class Database:
             del self._graphs[name]
             if handle.unsubscribe is not None:
                 handle.unsubscribe()
+            writer = self._wal_writers.pop(name, None)
+        if writer is not None:
+            if isinstance(handle.graph, LiveGraph):
+                handle.graph.detach_wal()
+            writer.close()
         self._plan_cache.drop_where(lambda k: k[0] == name)
         self._annotation_cache.drop_where(lambda k: k[0] == name)
+
+    # -- durability (repro.wal) ---------------------------------------------
+
+    def register_durable(
+        self,
+        name: str,
+        wal_dir: str,
+        *,
+        graph: Optional[Graph] = None,
+        sync: str = "group",
+        group_window_ms: float = 50.0,
+        warm: bool = True,
+    ) -> int:
+        """Register a WAL-backed :class:`LiveGraph` under ``name``.
+
+        ``wal_dir`` is this graph's durability home (one directory per
+        graph).  When it already holds durable state, that state
+        **wins**: it is recovered (latest valid snapshot + tail
+        replay, torn tail truncated) and ``graph`` is ignored — so a
+        restarted process can pass its bootstrap graph unconditionally
+        and still resume where the log left off.  A fresh directory is
+        seeded from ``graph`` (a snapshot at LSN 0; ``None`` starts
+        empty).  Vertex names of a durable graph must be JSON scalars
+        (str/int/float/bool/None) — anything else raises
+        :class:`~repro.exceptions.WalError` at commit time.
+
+        Every later mutation — :meth:`mutate`, direct
+        ``LiveGraph.apply``/``compact`` — is appended to the log
+        *before* it is applied (see :meth:`LiveGraph.attach_wal`);
+        compactions also write a snapshot at their LSN.  ``sync`` and
+        ``group_window_ms`` select the fsync policy (see
+        :class:`repro.wal.WalWriter`).
+        """
+        from repro.wal.recovery import recover as _recover
+        from repro.wal.snapshot import list_snapshots, write_snapshot
+        from repro.wal.writer import LOG_NAME, WalWriter
+
+        import os
+
+        os.makedirs(wal_dir, exist_ok=True)
+        fresh = not list_snapshots(wal_dir) and not os.path.exists(
+            os.path.join(wal_dir, LOG_NAME)
+        )
+        if fresh:
+            if isinstance(graph, LiveGraph):
+                from repro.exceptions import WalError
+
+                raise WalError(
+                    "bootstrap a durable entry from an immutable Graph "
+                    "(LiveGraph.to_graph()), not a LiveGraph — the "
+                    "overlay's edge-id history is not reconstructible "
+                    "from a snapshot"
+                )
+            base = graph if graph is not None else Graph((), (), (), (), ())
+            # Seed the directory so recovery (and followers) see the
+            # bootstrap state; this also validates the vertex names.
+            write_snapshot(wal_dir, base, 0)
+            live = LiveGraph(base)
+            start_lsn, start_offset = 0, 0
+        else:
+            state = _recover(wal_dir)
+            live = state.graph
+            start_lsn, start_offset = state.last_lsn, state.valid_offset
+        writer = WalWriter(
+            wal_dir,
+            sync=sync,
+            group_window_ms=group_window_ms,
+            start_lsn=start_lsn,
+            start_offset=start_offset,
+        )
+        live.attach_wal(writer)
+        version = self.register(name, live, warm=warm)
+        with self._graphs_lock:
+            self._wal_writers[name] = writer
+        return version
+
+    @classmethod
+    def open(
+        cls,
+        wal_dir: str,
+        *,
+        graph: Optional[Graph] = None,
+        name: str = "default",
+        sync: str = "group",
+        group_window_ms: float = 50.0,
+        plan_cache_size: int = 256,
+        annotation_cache_size: int = 128,
+        default_mode: str = "memoryless",
+        warm: bool = True,
+    ) -> "Database":
+        """A database whose ``name`` graph is durable in ``wal_dir``.
+
+        Shorthand for ``Database()`` + :meth:`register_durable` — the
+        durable analogue of ``Database(graph)``.  Existing durable
+        state in ``wal_dir`` wins over ``graph`` (see
+        :meth:`register_durable`); close with :meth:`close` (or rely
+        on recovery: the log is crash-consistent at every moment).
+        """
+        db = cls(
+            plan_cache_size=plan_cache_size,
+            annotation_cache_size=annotation_cache_size,
+            default_mode=default_mode,
+        )
+        db.register_durable(
+            name,
+            wal_dir,
+            graph=graph,
+            sync=sync,
+            group_window_ms=group_window_ms,
+            warm=warm,
+        )
+        return db
+
+    @classmethod
+    def recover(
+        cls,
+        wal_dir: str,
+        *,
+        name: str = "default",
+        plan_cache_size: int = 256,
+        annotation_cache_size: int = 128,
+        default_mode: str = "memoryless",
+        warm: bool = True,
+    ) -> "Database":
+        """Recover ``wal_dir`` into a database **without** a writer.
+
+        Read-only with respect to durability: the recovered graph is
+        queryable (and even mutable in memory), but nothing new is
+        logged — use :meth:`open` to recover *and* continue the log.
+        The recovery geometry is exposed as ``db.last_recovery``
+        (a :class:`repro.wal.RecoveredState`).
+        """
+        from repro.wal.recovery import recover as _recover
+
+        state = _recover(wal_dir)
+        db = cls(
+            plan_cache_size=plan_cache_size,
+            annotation_cache_size=annotation_cache_size,
+            default_mode=default_mode,
+        )
+        db.register(name, state.graph, warm=warm)
+        db.last_recovery = state
+        return db
+
+    def wal_writer(self, name: Optional[str] = None):
+        """The WAL writer of a durable entry, or ``None``."""
+        handle = self._handle(name)
+        with self._graphs_lock:
+            return self._wal_writers.get(handle.name)
+
+    def close(self) -> None:
+        """Flush, fsync and close every durable entry's WAL writer.
+
+        Idempotent.  The database stays usable for reads; further
+        mutations on a previously durable graph raise
+        :class:`~repro.exceptions.WalError` (the attached hook's
+        writer is closed) rather than silently going undurable.
+        """
+        with self._graphs_lock:
+            writers = list(self._wal_writers.values())
+            self._wal_writers = {}
+        for writer in writers:
+            writer.close()
 
     def _on_mutation(
         self, handle: _GraphHandle, batch: MutationBatch

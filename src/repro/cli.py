@@ -11,6 +11,9 @@ Usage (also available as ``python -m repro``)::
     python -m repro stats   GRAPH
     python -m repro batch   GRAPH requests.jsonl --workers 4 --stats
     python -m repro mutate  GRAPH ops.jsonl --save updated.json
+    python -m repro mutate  GRAPH ops.jsonl --wal-dir wal/
+    python -m repro recover wal/ --save recovered.json
+    python -m repro follow  wal/ --once --query "h+" --source Alix --target Bob
 
 ``GRAPH`` is a path to either a JSON database (``save_json``) or the
 line-based edge-list format::
@@ -31,6 +34,15 @@ line, see :mod:`repro.live.delta`) to the graph as a single batch
 over a :class:`~repro.live.LiveGraph` overlay, prints the batch
 receipt as JSON, and with ``--save`` writes the compacted result back
 to a graph JSON file.
+
+Durability (:mod:`repro.wal`): ``--wal-dir`` on ``batch``/``mutate``
+logs every applied batch to a write-ahead log *before* applying it —
+and when the directory already holds durable state, that state wins
+over the ``GRAPH`` file (the restart flow: pass the same bootstrap
+graph every time).  ``recover`` rebuilds the state of a WAL directory
+(latest valid snapshot + tail replay) and reports the log geometry;
+``follow`` tails a WAL directory as a read-only replica and can
+answer queries from it.
 
 Exit codes: 0 = answers found / info printed, 1 = no matching walk
 (for ``batch``: at least one request errored), 2 = input error (bad
@@ -238,9 +250,13 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         annotation_cache_size=args.annotation_cache,
         default_mode=args.mode,
         max_workers=args.workers,
+        wal_dir=args.wal_dir,
     )
-    service.register_graph("default", graph)
-    responses = service.execute_batch(requests)
+    try:
+        service.register_graph("default", graph)
+        responses = service.execute_batch(requests)
+    finally:
+        service.close()
     for response in responses:
         print(response.to_json())
     if args.stats:
@@ -270,6 +286,27 @@ def _cmd_mutate(args: argparse.Namespace) -> int:
     if not ops:
         raise ReproError(f"no mutation ops found in {args.ops}")
 
+    if args.wal_dir:
+        # Durable path: recover-or-bootstrap the WAL directory, apply
+        # the batch through the logging hook, leave the log fsync'd.
+        db = Database.open(args.wal_dir, graph=graph, sync="always")
+        try:
+            result = db.mutate(ops)
+            live = db.live()
+            payload = {
+                **result.batch.summary(),
+                **live.stats(),
+                "wal_dir": args.wal_dir,
+                "wal_lsn": db.wal_writer().last_lsn,
+            }
+            if args.save:
+                save_json(live.to_graph(), args.save)
+                payload["saved"] = args.save
+        finally:
+            db.close()
+        print(json.dumps(payload, indent=2))
+        return 0
+
     live = LiveGraph(graph)
     batch = live.apply(ops)
     payload = {**batch.summary(), **live.stats()}
@@ -277,6 +314,72 @@ def _cmd_mutate(args: argparse.Namespace) -> int:
         save_json(live.compact(), args.save)
         payload["saved"] = args.save
     print(json.dumps(payload, indent=2))
+    return 0
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    """Recover a WAL directory and report (or save) the result."""
+    import json
+
+    from repro.graph.io import save_json
+    from repro.wal import recover
+
+    state = recover(args.wal_dir)
+    live = state.graph
+    payload = {
+        "wal_dir": args.wal_dir,
+        "last_lsn": state.last_lsn,
+        "snapshot_lsn": state.snapshot_lsn,
+        "replayed_batches": state.replayed_batches,
+        "replayed_compactions": state.replayed_compactions,
+        "valid_offset": state.valid_offset,
+        "torn_tail": state.torn_tail,
+        **live.stats(),
+    }
+    if args.save:
+        save_json(live.to_graph(), args.save)
+        payload["saved"] = args.save
+    print(json.dumps(payload, indent=2))
+    return 0
+
+
+def _cmd_follow(args: argparse.Namespace) -> int:
+    """Tail a WAL directory as a read replica; optionally query it."""
+    import json
+
+    from repro.wal import FollowerDatabase
+
+    if (args.query is None) != (args.source is None) or (
+        (args.query is None) != (args.target is None)
+    ):
+        raise ReproError(
+            "--query, --source and --target must be given together"
+        )
+    follower = FollowerDatabase(
+        args.wal_dir, poll_interval=args.interval
+    )
+    if args.once:
+        applied = follower.catch_up()
+    else:
+        applied = follower.run(
+            duration=args.duration, max_records=args.max_records
+        )
+    payload = {
+        "wal_dir": args.wal_dir,
+        "applied": applied,
+        "last_lsn": follower.last_lsn,
+        **follower.graph.stats(),
+    }
+    if args.query is not None:
+        query = follower.query(args.query).from_(args.source).to(args.target)
+        if args.limit is not None:
+            query = query.limit(args.limit)
+        result = query.run()
+        payload["lam"] = result.lam
+        payload["walks"] = [row.walk.to_dict() for row in result]
+    print(json.dumps(payload, indent=2))
+    if args.query is not None and payload["lam"] is None:
+        return 1
     return 0
 
 
@@ -423,6 +526,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print service statistics (cache hit rates, timings) to stderr",
     )
+    batch.add_argument(
+        "--wal-dir",
+        default=None,
+        metavar="DIR",
+        help="log mutations to a write-ahead log under DIR/default/ "
+        "before applying (existing durable state wins over GRAPH)",
+    )
     batch.set_defaults(func=_cmd_batch)
 
     mutate = sub.add_parser(
@@ -441,7 +551,75 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="OUT.json",
         help="compact the overlay and write the resulting graph JSON",
     )
+    mutate.add_argument(
+        "--wal-dir",
+        default=None,
+        metavar="DIR",
+        help="apply durably: recover-or-bootstrap DIR, log the batch "
+        "to the WAL (fsync) before applying (existing durable state "
+        "wins over GRAPH)",
+    )
     mutate.set_defaults(func=_cmd_mutate)
+
+    recover_p = sub.add_parser(
+        "recover",
+        help="rebuild the state of a WAL directory (snapshot + replay)",
+    )
+    recover_p.add_argument(
+        "wal_dir", help="WAL directory (wal.log + snapshots)"
+    )
+    recover_p.add_argument(
+        "--save",
+        default=None,
+        metavar="OUT.json",
+        help="write the recovered graph as JSON",
+    )
+    recover_p.set_defaults(func=_cmd_recover)
+
+    follow = sub.add_parser(
+        "follow",
+        help="tail a WAL directory as a read-only replica",
+    )
+    follow.add_argument(
+        "wal_dir", help="WAL directory to tail"
+    )
+    follow.add_argument(
+        "--once",
+        action="store_true",
+        help="catch up to the current head and exit (no polling)",
+    )
+    follow.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="tail for this long, then report (default: forever)",
+    )
+    follow.add_argument(
+        "--max-records",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop after applying N records",
+    )
+    follow.add_argument(
+        "--interval",
+        type=float,
+        default=0.05,
+        metavar="SECONDS",
+        help="initial poll interval; doubles while idle (default: 0.05)",
+    )
+    follow.add_argument(
+        "--query",
+        default=None,
+        help="after catching up, run this RPQ on the replica",
+    )
+    follow.add_argument("--source", default=None, help="query source vertex")
+    follow.add_argument("--target", default=None, help="query target vertex")
+    follow.add_argument(
+        "--limit", type=int, default=None, help="emit at most N walks"
+    )
+    follow.set_defaults(func=_cmd_follow)
 
     plan = sub.add_parser("plan", help="explain the chosen algorithm")
     plan.add_argument("graph")

@@ -41,6 +41,32 @@ class UnknownLabelError(GraphError):
         self.label = label
 
 
+class InvalidDeltaError(GraphError):
+    """A mutation op payload is malformed (wire form or op object).
+
+    Raised by :func:`repro.live.delta.op_from_dict` for *every* kind
+    of bad input — unknown op kind, missing/unknown fields, wrong
+    field types, unhashable values smuggled in through JSON — so that
+    serving layers can map malformed mutation payloads to a structured
+    error response instead of leaking a raw ``KeyError``/``TypeError``
+    through their internal-error backstop.  Subclasses
+    :class:`GraphError`, so existing ``except GraphError`` call sites
+    keep working unchanged.
+    """
+
+
+class WalError(ReproError):
+    """Durability-layer failure (WAL framing, snapshot, recovery).
+
+    Raised for structural problems in a write-ahead-log directory that
+    recovery must not paper over: a valid frame with a non-contiguous
+    LSN, a snapshot watermark the log cannot replay from, a durable
+    graph fed values that do not survive the JSON wire form.  Torn or
+    corrupt *tail* frames are NOT errors — recovery stops cleanly at
+    the first invalid frame (see :mod:`repro.wal`).
+    """
+
+
 class AutomatonError(ReproError):
     """Structural problem in an automaton (bad state, transition...)."""
 

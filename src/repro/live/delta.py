@@ -17,13 +17,26 @@ A mutation is a sequence of :data:`Delta` ops applied to a
 
 Ops round-trip through plain dictionaries (``op_to_dict`` /
 ``op_from_dict``) — the wire form used by the JSONL ``mutate`` request
-of :mod:`repro.service.requests` and the CLI ``mutate`` subcommand::
+of :mod:`repro.service.requests`, the CLI ``mutate`` subcommand and
+the :mod:`repro.wal` write-ahead log::
 
-    {"op": "add_vertex", "name": "city99"}
-    {"op": "add_edge", "src": "city0", "tgt": "city99",
+    {"v": 1, "op": "add_vertex", "name": "city99"}
+    {"v": 1, "op": "add_edge", "src": "city0", "tgt": "city99",
      "labels": ["ferry"], "cost": 12}
-    {"op": "remove_edge", "edge": 17}
-    {"op": "set_edge_labels", "edge": 3, "labels": ["train", "night"]}
+    {"v": 1, "op": "remove_edge", "edge": 17}
+    {"v": 1, "op": "set_edge_labels", "edge": 3,
+     "labels": ["train", "night"]}
+
+The ``"v"`` field versions the wire schema (currently
+:data:`WIRE_VERSION` = 1) so WAL files survive future evolution: the
+reader accepts payloads without it (pre-versioning writers), rejects
+unknown fields at the version it knows (they are typos, not
+extensions), and *ignores* unknown fields on payloads stamped with a
+**newer** version — a downgraded reader replays what it understands
+instead of refusing the whole log.  Malformed payloads of every kind
+raise the typed :class:`~repro.exceptions.InvalidDeltaError` (a
+:class:`~repro.exceptions.GraphError`), never a raw
+``KeyError``/``TypeError``.
 
 Applying a batch yields a :class:`MutationBatch` receipt: what was
 added/removed, which label *names* the batch touched, and which label
@@ -48,7 +61,12 @@ from typing import (
     Union,
 )
 
-from repro.exceptions import GraphError
+from repro.exceptions import InvalidDeltaError
+
+#: Version stamped into every :func:`op_to_dict` payload.  Bump it
+#: when the wire schema gains fields; readers at an older version
+#: ignore fields they do not know on payloads carrying a newer ``v``.
+WIRE_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -120,7 +138,7 @@ _OP_FIELDS: Dict[str, Tuple[Tuple[str, bool], ...]] = {
 
 def op_to_dict(op: Delta) -> Dict[str, Any]:
     """The wire form of one op (inverse of :func:`op_from_dict`)."""
-    out: Dict[str, Any] = {"op": op.op}
+    out: Dict[str, Any] = {"v": WIRE_VERSION, "op": op.op}
     for name, _ in _OP_FIELDS[op.op]:
         value = getattr(op, name)
         if value is None:
@@ -130,48 +148,86 @@ def op_to_dict(op: Delta) -> Dict[str, Any]:
 
 
 def op_from_dict(payload: Dict[str, Any]) -> Delta:
-    """Parse one wire-form op; :class:`GraphError` on malformed input."""
+    """Parse one wire-form op.
+
+    Every malformed payload — wrong container type, unknown op kind
+    (including unhashable ones a JSON list can smuggle into ``"op"``),
+    missing/unknown fields, wrong field types — raises the typed
+    :class:`~repro.exceptions.InvalidDeltaError`.  A payload stamped
+    with a ``"v"`` *newer* than :data:`WIRE_VERSION` is read
+    tolerantly: fields this reader does not know are ignored rather
+    than rejected, so logs written by a future schema still replay.
+    """
     if not isinstance(payload, dict):
-        raise GraphError(
+        raise InvalidDeltaError(
             f"mutation op must be an object, got {type(payload).__name__}"
         )
+    version = payload.get("v", WIRE_VERSION)
+    if not isinstance(version, int) or isinstance(version, bool) or (
+        version < 1
+    ):
+        raise InvalidDeltaError(
+            f"op field 'v' must be a positive integer, got {version!r}"
+        )
     kind = payload.get("op")
-    cls = _OP_TYPES.get(kind)
+    cls = _OP_TYPES.get(kind) if isinstance(kind, str) else None
     if cls is None:
-        raise GraphError(
+        raise InvalidDeltaError(
             f"unknown mutation op {kind!r}; expected one of "
             f"{', '.join(sorted(_OP_TYPES))}"
         )
     fields = _OP_FIELDS[kind]
-    known = {"op"} | {name for name, _ in fields}
+    known = {"op", "v"} | {name for name, _ in fields}
     unknown = set(payload) - known
-    if unknown:
-        raise GraphError(
+    if unknown and version <= WIRE_VERSION:
+        raise InvalidDeltaError(
             f"unknown field(s) for op {kind!r}: "
-            f"{', '.join(sorted(unknown))}"
+            f"{', '.join(sorted(map(str, unknown)))}"
         )
     kwargs: Dict[str, Any] = {}
     for name, required in fields:
         if name in payload:
             kwargs[name] = payload[name]
         elif required:
-            raise GraphError(f"op {kind!r} is missing field {name!r}")
+            raise InvalidDeltaError(
+                f"op {kind!r} is missing field {name!r}"
+            )
     if "labels" in kwargs:
         labels = kwargs["labels"]
         if not isinstance(labels, (list, tuple)) or not all(
             isinstance(a, str) for a in labels
         ):
-            raise GraphError(
+            raise InvalidDeltaError(
                 f"op {kind!r}: 'labels' must be a list of strings"
             )
         kwargs["labels"] = tuple(labels)
-    if "edge" in kwargs and not isinstance(kwargs["edge"], int):
-        raise GraphError(f"op {kind!r}: 'edge' must be an edge id")
-    return cls(**kwargs)
+    if "edge" in kwargs and (
+        not isinstance(kwargs["edge"], int)
+        or isinstance(kwargs["edge"], bool)
+    ):
+        raise InvalidDeltaError(f"op {kind!r}: 'edge' must be an edge id")
+    if "cost" in kwargs and (
+        not isinstance(kwargs["cost"], int)
+        or isinstance(kwargs["cost"], bool)
+    ):
+        raise InvalidDeltaError(
+            f"op {kind!r}: 'cost' must be an integer"
+        )
+    try:
+        return cls(**kwargs)
+    except (TypeError, ValueError) as exc:  # Defensive backstop.
+        raise InvalidDeltaError(
+            f"malformed op {kind!r}: {exc}"
+        ) from None
 
 
 def ops_from_dicts(payloads: Iterable[Dict[str, Any]]) -> Tuple[Delta, ...]:
     """Parse a sequence of wire-form ops."""
+    if isinstance(payloads, dict):
+        raise InvalidDeltaError(
+            "mutation ops must be a sequence of op objects, got a "
+            "single object"
+        )
     return tuple(op_from_dict(p) for p in payloads)
 
 

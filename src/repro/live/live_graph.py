@@ -127,6 +127,9 @@ class LiveGraph:
         self._epoch = 0
         self._compactions = 0
         self._subscribers: List[Subscriber] = []
+        # Duck-typed durability hook (see attach_wal); survives
+        # compaction, unlike the per-epoch overlay state below.
+        self._wal_hook = None
         self._reset_overlay()
 
     def _reset_overlay(self) -> None:
@@ -727,6 +730,40 @@ class LiveGraph:
 
         return unsubscribe
 
+    def attach_wal(self, hook) -> None:
+        """Attach a durability hook (write-ahead logging).
+
+        ``hook`` is duck-typed — any object with ``log_batch(ops)``
+        and ``log_compaction(new_graph)`` (in practice a
+        :class:`repro.wal.WalWriter`; this module never imports the
+        durability layer).  Once attached:
+
+        * :meth:`apply` calls ``hook.log_batch(ops)`` inside the apply
+          lock, *after* validation and *before* any state change — the
+          batch is logged exactly when it is about to commit, LSN
+          order equals apply order, and a hook failure aborts the
+          batch with the graph untouched;
+        * :meth:`compact` calls ``hook.log_compaction(new_graph)``
+          with the already-merged state before installing it, so a
+          replayer compacts at the same point and later id-addressed
+          ops resolve to the same edges.
+
+        Only one hook at a time; attaching a second replaces the
+        first (callers owning the old hook close it themselves).
+        """
+        with self._lock:
+            self._wal_hook = hook
+
+    def detach_wal(self) -> None:
+        """Remove the durability hook (no-op when none is attached)."""
+        with self._lock:
+            self._wal_hook = None
+
+    @property
+    def wal_hook(self):
+        """The attached durability hook, or ``None``."""
+        return self._wal_hook
+
     @staticmethod
     def _check_vertex_name(name: Hashable) -> None:
         # JSON payloads can smuggle lists/dicts into name fields; an
@@ -828,6 +865,12 @@ class LiveGraph:
         ops = tuple(ops)
         with self._lock:
             self._check_ops(ops)
+            if self._wal_hook is not None:
+                # Write-ahead: the batch hits the log after validation
+                # but before the first state change; a hook failure
+                # (full disk, closed writer, non-wire-safe name) aborts
+                # here with the graph untouched.
+                self._wal_hook.log_batch(ops)
             touched: Set[str] = set()
             new_labels: Set[str] = set()
             added_vertices: List[int] = []
@@ -967,6 +1010,10 @@ class LiveGraph:
         """
         with self._lock:  # RLock: to_graph re-enters safely.
             new_graph = self.to_graph()
+            if self._wal_hook is not None:
+                # Logged before the swap: a hook failure leaves the
+                # overlay (and every edge id) exactly as it was.
+                self._wal_hook.log_compaction(new_graph)
             self._base = new_graph
             self._reset_overlay()
             self._epoch += 1

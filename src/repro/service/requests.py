@@ -189,7 +189,6 @@ class MutationRequest:
     _COMPACT = ("auto", "always", "never")
 
     def validate(self) -> "MutationRequest":
-        from repro.exceptions import GraphError
         from repro.live.delta import ops_from_dicts
 
         if not isinstance(self.ops, (list, tuple)) or not self.ops:
@@ -201,10 +200,11 @@ class MutationRequest:
                 f"unknown compact policy {self.compact!r}; expected "
                 f"one of {self._COMPACT}"
             )
-        try:
-            self.parsed_ops = ops_from_dicts(self.ops)
-        except GraphError as exc:
-            raise RequestError(str(exc)) from None
+        # Malformed op payloads raise the typed InvalidDeltaError,
+        # which propagates as itself: QueryService maps it to a
+        # structured ``code="invalid_delta"`` error response, and
+        # read_requests_jsonl re-wraps it with the line number.
+        self.parsed_ops = ops_from_dicts(self.ops)
         return self
 
     @classmethod
@@ -246,6 +246,9 @@ class MutationResponse:
     #: :meth:`repro.api.MutationResult.as_dict` of the applied batch.
     result: Dict[str, Any] = field(default_factory=dict)
     error: Optional[str] = None
+    #: Machine-readable error category (currently ``"invalid_delta"``
+    #: for malformed op payloads); ``None`` for uncategorized errors.
+    code: Optional[str] = None
     timings: Dict[str, float] = field(default_factory=dict)
     id: Optional[Any] = None
 
@@ -259,6 +262,8 @@ class MutationResponse:
             out["result"] = self.result
         if self.error is not None:
             out["error"] = self.error
+        if self.code is not None:
+            out["code"] = self.code
         if self.timings:
             out["timings"] = {
                 k: round(v, 6) for k, v in self.timings.items()
@@ -346,11 +351,17 @@ def read_requests_jsonl(lines: Iterable[str]) -> Iterator[Request]:
     :class:`QueryRequest`; line hygiene and error reporting as in
     :func:`iter_jsonl`.
     """
+    from repro.exceptions import InvalidDeltaError
+
     for lineno, payload in iter_jsonl(lines):
         try:
             if isinstance(payload, dict) and "mutate" in payload:
                 yield MutationRequest.from_dict(payload)
             else:
                 yield QueryRequest.from_dict(payload)
-        except RequestError as exc:
+        except (RequestError, InvalidDeltaError) as exc:
+            # File-level parsing keeps its contract — a malformed op
+            # on some line is the caller's file bug, reported with the
+            # line number (the typed per-request mapping applies to
+            # directly-submitted requests, not batch files).
             raise RequestError(f"line {lineno}: {exc}") from None

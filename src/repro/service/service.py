@@ -31,7 +31,7 @@ from dataclasses import dataclass
 import threading
 from typing import Any, Dict, List, Optional, Sequence
 
-from repro.exceptions import ReproError
+from repro.exceptions import InvalidDeltaError, ReproError
 from repro.graph.database import Graph
 from repro.service.requests import (
     MutationRequest,
@@ -108,6 +108,9 @@ class QueryService:
         annotation_cache_size: int = 128,
         default_mode: str = "memoryless",
         max_workers: int = 4,
+        wal_dir: Optional[str] = None,
+        wal_sync: str = "group",
+        wal_group_window_ms: float = 50.0,
     ) -> None:
         if default_mode not in ("iterative", "recursive", "memoryless"):
             raise ServiceError(
@@ -126,6 +129,13 @@ class QueryService:
         )
         self.default_mode = default_mode
         self.max_workers = max_workers
+        #: Durability root: with a ``wal_dir``, every registered graph
+        #: becomes WAL-backed under ``<wal_dir>/<name>/`` (existing
+        #: durable state wins over the graph the caller passes — the
+        #: restart flow; see :meth:`repro.api.Database.register_durable`).
+        self.wal_dir = wal_dir
+        self.wal_sync = wal_sync
+        self.wal_group_window_ms = wal_group_window_ms
         self._stats = ServiceStats()
         self._stats_lock = threading.Lock()
 
@@ -142,8 +152,28 @@ class QueryService:
         Registering a :class:`~repro.live.LiveGraph` makes the entry
         writable through ``{"mutate": [...]}`` requests without the
         one-time promotion purge a plain graph's first mutation pays.
+
+        When the service was constructed with a ``wal_dir``, the entry
+        is registered *durably*: its mutations append to the WAL under
+        ``<wal_dir>/<name>/`` before applying, and any durable state
+        already there wins over ``graph``.
         """
+        if self.wal_dir is not None:
+            import os
+
+            return self._db.register_durable(
+                name,
+                os.path.join(self.wal_dir, name),
+                graph=graph,
+                sync=self.wal_sync,
+                group_window_ms=self.wal_group_window_ms,
+                warm=warm,
+            )
         return self._db.register(name, graph, warm=warm)
+
+    def close(self) -> None:
+        """Flush and close every durable entry's WAL writer."""
+        self._db.close()
 
     def unregister_graph(self, name: str) -> None:
         """Remove a graph and purge its cached artifacts."""
@@ -216,6 +246,16 @@ class QueryService:
             )
             response = MutationResponse(
                 status="ok", result=result.as_dict(), id=request.id
+            )
+        except InvalidDeltaError as exc:
+            # Malformed op payloads are a client-input category of
+            # their own: structured, machine-readable, never the
+            # "internal error" backstop a leaked KeyError used to hit.
+            response = MutationResponse(
+                status="error",
+                error=str(exc),
+                code="invalid_delta",
+                id=request.id,
             )
         except (RequestError, ReproError) as exc:
             response = MutationResponse(

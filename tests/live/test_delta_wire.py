@@ -1,0 +1,169 @@
+"""Wire-form versioning and typed-error tests for mutation ops.
+
+Satellite coverage for the durability PR: every op round-trips
+exactly through its versioned wire form, the reader is tolerant of
+*newer*-version payloads (unknown fields ignored) but strict at the
+version it knows, and every malformed shape raises the typed
+:class:`~repro.exceptions.InvalidDeltaError` — never a raw
+``KeyError``/``TypeError`` that would leak as an "internal error".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GraphError, InvalidDeltaError
+from repro.live.delta import (
+    WIRE_VERSION,
+    AddEdge,
+    AddVertex,
+    RemoveEdge,
+    SetEdgeLabels,
+    op_from_dict,
+    op_to_dict,
+    ops_from_dicts,
+)
+
+
+class TestRoundTrips:
+    """Exact per-op round trips, with the ``"v"`` stamp on the wire."""
+
+    @pytest.mark.parametrize(
+        "op,wire",
+        [
+            (
+                AddVertex("city99"),
+                {"v": 1, "op": "add_vertex", "name": "city99"},
+            ),
+            (
+                AddVertex(42),  # Non-string names ride the wire as-is.
+                {"v": 1, "op": "add_vertex", "name": 42},
+            ),
+            (
+                AddEdge("a", "b", ("x", "y")),
+                {
+                    "v": 1,
+                    "op": "add_edge",
+                    "src": "a",
+                    "tgt": "b",
+                    "labels": ["x", "y"],
+                },
+            ),
+            (
+                AddEdge("a", "b", ("x",), cost=12),
+                {
+                    "v": 1,
+                    "op": "add_edge",
+                    "src": "a",
+                    "tgt": "b",
+                    "labels": ["x"],
+                    "cost": 12,
+                },
+            ),
+            (
+                RemoveEdge(17),
+                {"v": 1, "op": "remove_edge", "edge": 17},
+            ),
+            (
+                SetEdgeLabels(3, ("train", "night")),
+                {
+                    "v": 1,
+                    "op": "set_edge_labels",
+                    "edge": 3,
+                    "labels": ["train", "night"],
+                },
+            ),
+        ],
+    )
+    def test_exact_wire_form_and_back(self, op, wire) -> None:
+        assert op_to_dict(op) == wire
+        assert op_from_dict(wire) == op
+        assert op_from_dict(op_to_dict(op)) == op
+
+    def test_none_cost_is_omitted(self) -> None:
+        assert "cost" not in op_to_dict(AddEdge("a", "b", ("x",)))
+
+    def test_wire_version_constant(self) -> None:
+        assert WIRE_VERSION == 1
+        assert op_to_dict(AddVertex("a"))["v"] == WIRE_VERSION
+
+
+class TestVersionTolerance:
+    def test_missing_v_reads_as_current(self) -> None:
+        # Pre-versioning writers produced payloads without "v".
+        op = op_from_dict({"op": "remove_edge", "edge": 5})
+        assert op == RemoveEdge(5)
+
+    def test_newer_version_ignores_unknown_fields(self) -> None:
+        op = op_from_dict(
+            {
+                "v": WIRE_VERSION + 1,
+                "op": "add_edge",
+                "src": "a",
+                "tgt": "b",
+                "labels": ["x"],
+                "shard": 7,  # Future field: ignored, not rejected.
+            }
+        )
+        assert op == AddEdge("a", "b", ("x",))
+
+    def test_current_version_rejects_unknown_fields(self) -> None:
+        with pytest.raises(InvalidDeltaError, match="unknown field"):
+            op_from_dict(
+                {"v": WIRE_VERSION, "op": "remove_edge", "edge": 1, "x": 2}
+            )
+
+    def test_unversioned_payload_rejects_unknown_fields(self) -> None:
+        with pytest.raises(InvalidDeltaError, match="unknown field"):
+            op_from_dict({"op": "remove_edge", "edge": 1, "typo": True})
+
+    def test_bad_version_values(self) -> None:
+        for v in (0, -1, "1", 1.5, True, None):
+            with pytest.raises(InvalidDeltaError, match="'v'"):
+                op_from_dict({"v": v, "op": "remove_edge", "edge": 1})
+
+
+class TestMalformedPayloads:
+    """Every malformed shape is the *typed* error, a GraphError."""
+
+    def test_error_is_a_graph_error(self) -> None:
+        assert issubclass(InvalidDeltaError, GraphError)
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            "not a dict",
+            ["op", "add_vertex"],
+            42,
+            None,
+            {},
+            {"op": "explode"},
+            {"op": ["add_vertex"]},  # Unhashable kind via JSON list.
+            {"op": None},
+            {"op": "add_vertex"},  # Missing required field.
+            {"op": "add_edge", "src": "a", "tgt": "b"},  # No labels.
+            {"op": "add_edge", "src": "a", "tgt": "b", "labels": "xy"},
+            {"op": "add_edge", "src": "a", "tgt": "b", "labels": [1]},
+            {"op": "add_edge", "src": "a", "tgt": "b", "labels": ["x"],
+             "cost": "12"},
+            {"op": "add_edge", "src": "a", "tgt": "b", "labels": ["x"],
+             "cost": True},
+            {"op": "remove_edge"},
+            {"op": "remove_edge", "edge": "17"},
+            {"op": "remove_edge", "edge": True},
+            {"op": "remove_edge", "edge": 1.0},
+            {"op": "set_edge_labels", "edge": 1},
+            {"op": "set_edge_labels", "labels": ["x"]},
+        ],
+    )
+    def test_raises_typed_error_only(self, payload) -> None:
+        with pytest.raises(InvalidDeltaError):
+            op_from_dict(payload)
+
+    def test_sequence_guard(self) -> None:
+        with pytest.raises(InvalidDeltaError, match="sequence"):
+            ops_from_dicts({"op": "add_vertex", "name": "a"})
+
+    def test_sequence_round_trip(self) -> None:
+        ops = (AddVertex("a"), AddEdge("a", "b", ("x",)), RemoveEdge(0))
+        assert ops_from_dicts([op_to_dict(op) for op in ops]) == ops

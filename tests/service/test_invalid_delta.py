@@ -1,0 +1,119 @@
+"""Typed ``invalid_delta`` error mapping through the service layer.
+
+A malformed mutation op must surface as a *structured* error — the
+``code="invalid_delta"`` field on the response for directly-submitted
+requests, a line-numbered :class:`RequestError` for JSONL batch files
+— never as the generic "internal error" backstop a leaked
+``KeyError``/``TypeError`` used to produce.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.builder import GraphBuilder
+from repro.service.requests import (
+    MutationRequest,
+    RequestError,
+    read_requests_jsonl,
+)
+from repro.service.service import QueryService
+
+
+def _graph():
+    builder = GraphBuilder()
+    builder.add_edge("a", "b", ["x"])
+    builder.add_edge("b", "c", ["x"])
+    return builder.build()
+
+
+@pytest.fixture
+def service():
+    svc = QueryService()
+    svc.register_graph("g", _graph())
+    return svc
+
+
+_BAD_OPS = [
+    {"op": "explode"},
+    {"op": ["add_vertex"]},
+    {"op": "add_edge", "src": "a", "tgt": "b"},
+    {"op": "remove_edge", "edge": "not an id"},
+    {"op": "add_vertex", "name": "ok", "typo": 1},
+]
+
+
+class TestExecuteMutation:
+    @pytest.mark.parametrize("bad_op", _BAD_OPS)
+    def test_malformed_op_maps_to_invalid_delta(
+        self, service, bad_op
+    ) -> None:
+        request = MutationRequest(ops=[bad_op], graph="g", id="req-1")
+        response = service.execute_mutation(request)
+        assert response.status == "error"
+        assert response.code == "invalid_delta"
+        assert response.id == "req-1"
+        # The category must also ride the wire form.
+        out = response.to_dict()
+        assert out["code"] == "invalid_delta"
+        assert "internal error" not in out["error"]
+
+    def test_valid_mutation_has_no_code(self, service) -> None:
+        request = MutationRequest(
+            ops=[{"op": "add_edge", "src": "c", "tgt": "a", "labels": ["y"]}],
+            graph="g",
+        )
+        response = service.execute_mutation(request)
+        assert response.status == "ok"
+        assert response.code is None
+        assert "code" not in response.to_dict()
+
+    def test_uncategorized_errors_keep_no_code(self, service) -> None:
+        # A well-formed op hitting a graph-level problem is a plain
+        # error, not an invalid_delta.
+        request = MutationRequest(
+            ops=[{"op": "remove_edge", "edge": 999}], graph="g"
+        )
+        response = service.execute_mutation(request)
+        assert response.status == "error"
+        assert response.code is None
+
+    def test_batch_does_not_abort_on_invalid_delta(self, service) -> None:
+        responses = service.execute_batch(
+            [
+                MutationRequest(ops=[{"op": "explode"}], graph="g", id=1),
+                MutationRequest(
+                    ops=[
+                        {
+                            "op": "add_edge",
+                            "src": "c",
+                            "tgt": "a",
+                            "labels": ["y"],
+                        }
+                    ],
+                    graph="g",
+                    id=2,
+                ),
+            ]
+        )
+        assert [r.status for r in responses] == ["error", "ok"]
+        assert responses[0].code == "invalid_delta"
+
+
+class TestJsonlMapping:
+    def test_malformed_op_line_is_line_numbered(self) -> None:
+        lines = [
+            '{"mutate": [{"op": "add_vertex", "name": "ok"}]}',
+            '{"mutate": [{"op": "explode"}]}',
+        ]
+        with pytest.raises(RequestError, match=r"line 2:.*explode"):
+            list(read_requests_jsonl(lines))
+
+    def test_valid_lines_parse(self) -> None:
+        lines = [
+            '{"mutate": [{"op": "add_vertex", "name": "ok"}]}',
+            '{"query": "x", "source": "a", "target": "b"}',
+        ]
+        requests = list(read_requests_jsonl(lines))
+        assert len(requests) == 2
+        assert requests[0].parsed_ops is not None

@@ -1,0 +1,154 @@
+"""Unit tests for the snapshot codec (:mod:`repro.wal.snapshot`)."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.exceptions import WalError
+from repro.graph.database import Graph
+from repro.wal.snapshot import (
+    check_wire_name,
+    list_snapshots,
+    load_latest_snapshot,
+    snapshot_name,
+    write_snapshot,
+)
+
+
+def _graph(costs=None) -> Graph:
+    return Graph(
+        vertex_names=["v0", "v1", "v2"],
+        label_names=["a", "b"],
+        src=[0, 1, 2],
+        tgt=[1, 2, 0],
+        labels=[(0,), (1,), (0, 1)],
+        costs=costs,
+    )
+
+
+def _render(graph: Graph):
+    """Name-wise edge set — ids may legitimately differ across codecs."""
+    return sorted(
+        (
+            graph.vertex_name(graph.src(e)),
+            graph.vertex_name(graph.tgt(e)),
+            tuple(graph.label_names_of(e)),
+            graph.cost(e) if graph.has_costs else None,
+        )
+        for e in graph.edges()
+    )
+
+
+def test_round_trip(tmp_path) -> None:
+    g = _graph()
+    path = write_snapshot(str(tmp_path), g, 7)
+    assert os.path.basename(path) == snapshot_name(7)
+    load = load_latest_snapshot(str(tmp_path))
+    assert load is not None
+    assert load.lsn == 7
+    assert _render(load.graph) == _render(g)
+    assert not load.graph.has_costs
+
+
+def test_round_trip_with_costs(tmp_path) -> None:
+    g = _graph(costs=[3, 1, 2])
+    write_snapshot(str(tmp_path), g, 1)
+    load = load_latest_snapshot(str(tmp_path))
+    assert load.graph.has_costs
+    assert _render(load.graph) == _render(g)
+
+
+def test_non_string_vertex_names_survive(tmp_path) -> None:
+    # graph_to_dict would stringify these; the snapshot codec must not.
+    g = Graph(
+        vertex_names=[0, 1, None],
+        label_names=["a"],
+        src=[0],
+        tgt=[1],
+        labels=[(0,)],
+    )
+    write_snapshot(str(tmp_path), g, 3)
+    load = load_latest_snapshot(str(tmp_path))
+    names = sorted(
+        (load.graph.vertex_name(v) for v in load.graph.vertices()),
+        key=repr,
+    )
+    assert names == sorted([0, 1, None], key=repr)
+
+
+def test_tuple_vertex_name_rejected(tmp_path) -> None:
+    g = Graph(
+        vertex_names=[("p", 1), "v1"],
+        label_names=["a"],
+        src=[0],
+        tgt=[1],
+        labels=[(0,)],
+    )
+    with pytest.raises(WalError):
+        write_snapshot(str(tmp_path), g, 1)
+    # And nothing was left under the final name.
+    assert list_snapshots(str(tmp_path)) == []
+
+
+def test_check_wire_name() -> None:
+    for ok in ("x", 7, 1.5, True, None):
+        check_wire_name(ok)
+    for bad in ((1, 2), [1], {"a": 1}):
+        with pytest.raises(WalError):
+            check_wire_name(bad)
+
+
+def test_no_tmp_artifacts(tmp_path) -> None:
+    write_snapshot(str(tmp_path), _graph(), 2)
+    assert [f for f in os.listdir(tmp_path) if f.endswith(".tmp")] == []
+
+
+def test_corrupt_newest_falls_back_to_older(tmp_path) -> None:
+    g = _graph()
+    write_snapshot(str(tmp_path), g, 2)
+    newest = write_snapshot(str(tmp_path), g, 5)
+    with open(newest, "r+b") as fh:
+        fh.seek(10)
+        fh.write(b"X")
+    load = load_latest_snapshot(str(tmp_path))
+    assert load is not None
+    assert load.lsn == 2
+
+
+def test_truncated_newest_falls_back(tmp_path) -> None:
+    write_snapshot(str(tmp_path), _graph(), 1)
+    newest = write_snapshot(str(tmp_path), _graph(), 4)
+    data = open(newest, "rb").read()
+    with open(newest, "wb") as fh:
+        fh.write(data[: len(data) // 2])
+    assert load_latest_snapshot(str(tmp_path)).lsn == 1
+
+
+def test_renamed_snapshot_is_skipped(tmp_path) -> None:
+    # A file lying about its watermark via its name must not win.
+    path = write_snapshot(str(tmp_path), _graph(), 3)
+    os.rename(path, os.path.join(str(tmp_path), snapshot_name(9)))
+    assert load_latest_snapshot(str(tmp_path)) is None
+
+
+def test_crc_covers_body(tmp_path) -> None:
+    path = write_snapshot(str(tmp_path), _graph(), 3)
+    document = json.load(open(path, "r", encoding="utf-8"))
+    document["lsn"] = 4  # Valid JSON, wrong content.
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(document, fh)
+    assert load_latest_snapshot(str(tmp_path)) is None
+
+
+def test_list_snapshots_newest_first(tmp_path) -> None:
+    for lsn in (1, 9, 4):
+        write_snapshot(str(tmp_path), _graph(), lsn)
+    assert [lsn for lsn, _ in list_snapshots(str(tmp_path))] == [9, 4, 1]
+
+
+def test_missing_dir_is_empty(tmp_path) -> None:
+    assert list_snapshots(str(tmp_path / "nope")) == []
+    assert load_latest_snapshot(str(tmp_path / "nope")) is None
