@@ -3,11 +3,12 @@
 Each tracked benchmark suite commits a JSON record at the repo root
 (``BENCH_annotate.json`` — EXP-ADJ, ``BENCH_service.json`` —
 EXP-SERVICE, ``BENCH_mutations.json`` — EXP-LIVE,
-``BENCH_pipeline.json`` — EXP-PIPE, ``BENCH_wal.json`` — EXP-WAL)
-whose ``speedup_target`` field is the suite's acceptance floor (ADJ
-≥3×, SERVICE ≥2×, LIVE ≥5×, PIPE ≥2×, WAL ≥0.5× — i.e. group-commit
-durability within 2× of no WAL; PIPE additionally carries
-``memory_target`` ≥2×).
+``BENCH_pipeline.json`` — EXP-PIPE, ``BENCH_wal.json`` — EXP-WAL,
+``BENCH_semantics.json`` — EXP-SEM) whose ``speedup_target`` field is
+the suite's acceptance floor (ADJ ≥3×, SERVICE ≥2×, LIVE ≥5×, PIPE
+≥2×, WAL ≥0.5× — i.e. group-commit durability within 2× of no WAL —
+and SEM ≥1.5× — any-walk beats the full shortest pipeline; PIPE
+additionally carries ``memory_target`` ≥2×).
 
 This script compares a **fresh re-run** of those suites (their
 ``BENCH_*_JSON`` env hooks pointed at ``--fresh-dir``) against the
@@ -45,6 +46,7 @@ TRACKED = {
     "BENCH_mutations.json": "EXP-LIVE",
     "BENCH_pipeline.json": "EXP-PIPE",
     "BENCH_wal.json": "EXP-WAL",
+    "BENCH_semantics.json": "EXP-SEM",
 }
 
 

@@ -51,10 +51,16 @@ from repro.api.query import Query
 from repro.api.result import ResultSet
 from repro.api.rows import Cursor, Row
 from repro.automata.ops import remove_epsilon
+from repro.core.anywalk import any_walk_search
 from repro.core.compile import compile_query
 from repro.core.engine import DistinctShortestWalks
 from repro.core.enumerate import enumerate_walks_recursive
 from repro.core.multi_target import MultiTargetShortestWalks
+from repro.core.restricted import (
+    fallback_walks,
+    restricted_filter,
+    restricted_lam,
+)
 from repro.core.multiplicity import count_accepting_runs
 from repro.core.simple import simple_eligible
 from repro.core.walks import Walk
@@ -155,6 +161,12 @@ class _Bucket:
     mt: MultiTargetShortestWalks
     lam: int
     states: Any  # FrozenSet[int] — the target's start-state certificate.
+    #: Restricted-semantics extras (trails/simple only): the
+    #: unrestricted walk λ (``lam`` is then rλ) and the execution
+    #: regime — ``"filter"`` (λ-walk stream + predicate) or
+    #: ``"fallback"`` (guided product-DFS at rλ > λ).
+    walk_lam: Optional[int] = None
+    rkind: Optional[str] = None
 
 
 class Database:
@@ -739,8 +751,16 @@ class Database:
         construction: str,
         expression: str,
         prebuilt: Optional[RPQ] = None,
+        restriction: str = "walks",
     ) -> Tuple[_Plan, bool]:
-        key = (handle.name, handle.version, construction, expression)
+        # The restriction rides at the END of the key (the eviction
+        # predicates pattern-match on key[0]=name / key[1]=version): a
+        # cached plan never serves a different semantics, per-semantics
+        # entries hit independently, and every invalidation path —
+        # re-register, unregister, footprint eviction — covers all
+        # semantics of a graph unchanged.
+        key = (handle.name, handle.version, construction, expression,
+               restriction)
         hit = True
 
         def build() -> _Plan:
@@ -774,6 +794,7 @@ class Database:
         source_input: Hashable,
         source_id: int,
         cheapest: bool,
+        restriction: str = "walks",
     ) -> Tuple[MultiTargetShortestWalks, bool]:
         """The saturated (query, source) annotation, cached.
 
@@ -783,6 +804,13 @@ class Database:
         array and enumerations off the packed cells — eager snapshots
         copy one cursor array, the memoryless mode shares the arrays
         read-only — with no per-hit dict materialization anywhere.
+
+        The restriction suffixes the key (same rationale as
+        :meth:`_plan_for`): a trails entry and a walks entry of the
+        same (query, source) are separate cache lines, each carrying
+        its own label footprint for mutation-time eviction, and a
+        cached restricted result can never be served to a different
+        semantics.
         """
         key = (
             handle.name,
@@ -791,6 +819,7 @@ class Database:
             expression,
             source_id,
             cheapest,
+            restriction,
         )
         hit = True
 
@@ -898,8 +927,16 @@ class Database:
         shape = q._shape()
         graph = handle.graph
         cheapest = q._semantics == "cheapest"
+        restriction = q._restriction
+        if cheapest and restriction != "walks":
+            raise QueryError(
+                "cheapest semantics supports the unrestricted 'walks' "
+                f"form only, not {restriction!r} (cost-minimal trails/"
+                "simple paths are a different problem; any-walk is "
+                "length-based)"
+            )
         plan, plan_hit = self._plan_for(
-            handle, q._construction, q._expression, q._rpq
+            handle, q._construction, q._expression, q._rpq, restriction
         )
         cached: Dict[str, bool] = {"plan": plan_hit}
         timings: Dict[str, float] = {}
@@ -908,19 +945,25 @@ class Database:
             self._count_cq(plan, graph) if q._multiplicity else None
         )
 
+        if restriction == "any":
+            rows, lam = self._prepare_any(
+                q, handle, plan, shape, count_cq, cached, timings
+            )
+            return rows, lam, stats
+
         if shape[0] == "pair":
             rows, lam = self._prepare_pair(
                 q, handle, plan, shape[1], shape[2], cheapest, count_cq,
-                cached, timings,
+                cached, timings, restriction,
             )
             return rows, lam, stats
 
         mode = self._resolve_mode(q._mode, cheapest)
         buckets, lam = self._buckets(
-            q, handle, plan, shape, cheapest, cached, timings
+            q, handle, plan, shape, cheapest, cached, timings, restriction
         )
         rows = self._bucketed_rows(
-            q, handle, buckets, mode, cheapest, count_cq
+            q, handle, plan, buckets, mode, cheapest, count_cq, restriction
         )
         return rows, lam, stats
 
@@ -937,6 +980,7 @@ class Database:
         count_cq: Any,
         cached: Dict[str, bool],
         timings: Dict[str, float],
+        restriction: str = "walks",
     ) -> Tuple[Iterator[Tuple[Row, Cursor]], Optional[int]]:
         graph = handle.graph
         source_id = graph.resolve_vertex(source)
@@ -945,6 +989,7 @@ class Database:
         if cursor is not None:
             _check_cursor_edges(graph, cursor.edges, target_id)
         resume = cursor.edges if cursor is not None else None
+        restricted = restriction != "walks"
 
         if not cheapest and self._annotation_cache.capacity == 0:
             # Cold per-request execution: the ordinary single-pair
@@ -966,14 +1011,41 @@ class Database:
             cached["annotation"] = False
             if lam is None:
                 return iter(()), None
+            walk_lam, rkind = lam, None
+            if restricted:
+                # enumerate() is re-callable, so the probe's partial
+                # consumption does not disturb the stream built below.
+                info = restricted_lam(
+                    graph, plan.compiled, source_id, target_id, lam,
+                    restriction, engine.enumerate,
+                )
+                if info is None:
+                    return iter(()), None
+                lam, rkind = info
             _check_cursor_budget(graph, cursor, lam, cheapest)
-            walks = _skip_past_cursor(engine.enumerate(), resume)
+            if rkind == "fallback":
+                walks = _skip_past_cursor(
+                    fallback_walks(
+                        graph, plan.compiled, source_id, target_id,
+                        restriction, lam,
+                    ),
+                    resume,
+                )
+            else:
+                walks = _skip_past_cursor(engine.enumerate(), resume)
+                if rkind == "filter":
+                    # rλ == λ: every restricted output is itself an
+                    # unrestricted output, so the underlying resume
+                    # (and the budget check above) stay valid.
+                    walks = restricted_filter(
+                        graph, restriction, source_id, walks
+                    )
         else:
             mode = self._resolve_mode(q._mode, cheapest)
             t0 = time.perf_counter()
             mt, ann_hit = self._annotation_for(
                 handle, q._construction, q._expression, plan,
-                source, source_id, cheapest,
+                source, source_id, cheapest, restriction,
             )
             # From this query's perspective: build time on a miss,
             # single-flight wait time when another thread is building.
@@ -982,10 +1054,34 @@ class Database:
             lam, states = mt.annotation.target_info(target_id)
             if lam is None:
                 return iter(()), None
+            walk_lam, rkind = lam, None
+            if restricted:
+                info = restricted_lam(
+                    graph, plan.compiled, source_id, target_id, lam,
+                    restriction,
+                    lambda: mt.walks_to(target, memoryless=True),
+                )
+                if info is None:
+                    return iter(()), None
+                lam, rkind = info
             _check_cursor_budget(graph, cursor, lam, cheapest)
-            walks = self._bucket_walks(
-                graph, mt, target, target_id, lam, states, mode, resume
-            )
+            if rkind == "fallback":
+                walks = _skip_past_cursor(
+                    fallback_walks(
+                        graph, plan.compiled, source_id, target_id,
+                        restriction, lam,
+                    ),
+                    resume,
+                )
+            else:
+                walks = self._bucket_walks(
+                    graph, mt, target, target_id, walk_lam, states, mode,
+                    resume,
+                )
+                if rkind == "filter":
+                    walks = restricted_filter(
+                        graph, restriction, source_id, walks
+                    )
 
         source_name = graph.vertex_name(source_id)
         target_name = graph.vertex_name(target_id)
@@ -993,6 +1089,158 @@ class Database:
             walks, source_name, target_name, lam, False, count_cq
         )
         return rows, lam
+
+    # -- any-walk shape ------------------------------------------------------
+
+    def _prepare_any(
+        self,
+        q: Query,
+        handle: _GraphHandle,
+        plan: _Plan,
+        shape: Tuple,
+        count_cq: Any,
+        cached: Dict[str, bool],
+        timings: Dict[str, float],
+    ) -> Tuple[Iterator[Tuple[Row, Cursor]], Optional[int]]:
+        """The ``any`` semantics: one witness walk per (source, target).
+
+        A plain early-exit BFS over the product (see
+        :mod:`repro.core.anywalk`) — no trim/enumerate machinery, no
+        annotation-cache entry (nothing worth retaining: the search is
+        cheaper than a saturating annotation build), and the engine
+        ``mode`` is irrelevant (there is nothing to enumerate).  Shapes
+        mirror the shortest-walk semantics: per-target witnesses for
+        the ``to_all`` forms, the super-source view (one row from the
+        first caller-order source achieving the global minimum) for
+        ``many_to_one``/``many_to_all``.  Pagination still works — a
+        bucket's "stream" is its single witness — and cursors follow
+        the same shape rules as the bucketed executor.
+        """
+        graph = handle.graph
+        cq = plan.compiled
+        cursor = q._cursor
+        cached["annotation"] = False
+        kind = shape[0]
+        t0 = time.perf_counter()
+
+        if kind == "pair":
+            sid = graph.resolve_vertex(shape[1])
+            tid = graph.resolve_vertex(shape[2])
+            if cursor is not None:
+                _check_cursor_edges(graph, cursor.edges, tid)
+            hit = any_walk_search(cq, sid, (tid,)).get(tid)
+            timings["annotate"] = time.perf_counter() - t0
+            if hit is None:
+                return iter(()), None
+            lam, edges = hit
+            _check_cursor_budget(graph, cursor, lam, False)
+            walks = _skip_past_cursor(
+                iter((Walk.from_edges_unchecked(graph, edges, sid),)),
+                cursor.edges if cursor is not None else None,
+            )
+            rows = _rows_of(
+                walks, graph.vertex_name(sid), graph.vertex_name(tid),
+                lam, False, count_cq,
+            )
+            return rows, lam
+
+        #: Ordered (source_id, target_id, λ, edges) witness cells.
+        entries: List[Tuple[int, int, int, Tuple[int, ...]]] = []
+        global_lam: Optional[int] = None
+
+        if kind == "one_to_all":
+            sid = graph.resolve_vertex(shape[1])
+            hits = any_walk_search(cq, sid)  # Saturating.
+            entries = [
+                (sid, t, hits[t][0], hits[t][1]) for t in sorted(hits)
+            ]
+        else:
+            sources: List[int] = []
+            seen_ids = set()
+            if kind == "all_pairs":
+                sources = list(graph.vertices())
+            else:
+                for s in shape[1]:
+                    s_id = graph.resolve_vertex(s)
+                    if s_id not in seen_ids:  # Dedupe, caller order.
+                        seen_ids.add(s_id)
+                        sources.append(s_id)
+
+            if kind == "many_to_one":
+                tid = graph.resolve_vertex(shape[2])
+                best: Optional[Tuple[int, int, int, Tuple[int, ...]]] = None
+                for s_id in sources:
+                    hit = any_walk_search(cq, s_id, (tid,)).get(tid)
+                    if hit is not None and (
+                        best is None or hit[0] < best[2]
+                    ):
+                        best = (s_id, tid, hit[0], hit[1])
+                if best is not None:
+                    entries = [best]
+                    global_lam = best[2]
+            else:  # many_to_all / all_pairs: per-source saturation.
+                results = [
+                    (s_id, any_walk_search(cq, s_id)) for s_id in sources
+                ]
+                if kind == "many_to_all":
+                    # Super-source view: per target, the first
+                    # caller-order source achieving the minimal λ.
+                    for t in sorted({t for _, h in results for t in h}):
+                        best = None
+                        for s_id, h in results:
+                            if t in h and (
+                                best is None or h[t][0] < best[2]
+                            ):
+                                best = (s_id, t, h[t][0], h[t][1])
+                        entries.append(best)
+                else:  # all_pairs: every reached pair, source-major.
+                    for s_id, h in results:
+                        entries.extend(
+                            (s_id, t, h[t][0], h[t][1]) for t in sorted(h)
+                        )
+        timings["annotate"] = time.perf_counter() - t0
+
+        cursor_sid = cursor_tid = None
+        if cursor is not None:
+            if cursor.target is None:
+                raise QueryError(
+                    "a cursor for a multi-bucket query must carry the "
+                    "'target' (and, for multi-source shapes, 'source') "
+                    "of the walk it points at"
+                )
+            cursor_tid = graph.resolve_vertex(cursor.target)
+            if cursor.source is not None:
+                cursor_sid = graph.resolve_vertex(cursor.source)
+            _check_cursor_edges(graph, cursor.edges, cursor_tid)
+
+        def gen() -> Iterator[Tuple[Row, Cursor]]:
+            seeking = cursor is not None
+            for s_id, t_id, lam_t, edges in entries:
+                if seeking:
+                    if t_id != cursor_tid or (
+                        cursor_sid is not None and s_id != cursor_sid
+                    ):
+                        continue
+                    seeking = False
+                    _check_cursor_budget(graph, cursor, lam_t, False)
+                    resume = cursor.edges
+                else:
+                    resume = None
+                walks = _skip_past_cursor(
+                    iter((Walk.from_edges_unchecked(graph, edges, s_id),)),
+                    resume,
+                )
+                yield from _rows_of(
+                    walks, graph.vertex_name(s_id),
+                    graph.vertex_name(t_id), lam_t, True, count_cq,
+                )
+            if seeking:
+                raise QueryError(
+                    "cursor does not match any result bucket of this "
+                    "query"
+                )
+
+        return gen(), global_lam
 
     # -- bucketed shapes -----------------------------------------------------
 
@@ -1005,21 +1253,29 @@ class Database:
         cheapest: bool,
         cached: Dict[str, bool],
         timings: Dict[str, float],
+        restriction: str = "walks",
     ) -> Tuple[Iterator[_Bucket], Optional[int]]:
         """Resolve a non-pair shape into its ordered bucket stream.
 
         Returns ``(buckets, lam)`` where ``lam`` is the global answer
         length for ``many_to_one`` (the virtual super-source λ) and
-        ``None`` for the per-bucket shapes.
+        ``None`` for the per-bucket shapes.  Under a trails/simple
+        restriction every bucket carries rλ in ``lam`` (with the walk
+        λ in ``walk_lam``); buckets whose pair admits *no* restricted
+        walk vanish from the stream, and the ``many_to_one`` /
+        ``many_to_all`` minima are taken over rλ — the walk-λ
+        pre-filter would be unsound there, since the source with the
+        shortest walk need not have the shortest trail.
         """
         graph = handle.graph
         cached["annotation"] = True
+        restricted = restriction != "walks"
 
         def mt_for(source_input: Hashable, source_id: int):
             t0 = time.perf_counter()
             mt, hit = self._annotation_for(
                 handle, q._construction, q._expression, plan,
-                source_input, source_id, cheapest,
+                source_input, source_id, cheapest, restriction,
             )
             timings["annotate"] = (
                 timings.get("annotate", 0.0) + time.perf_counter() - t0
@@ -1032,6 +1288,19 @@ class Database:
             lam_t, states = mt.annotation.target_info(target_id)
             if lam_t is None:
                 return None
+            walk_lam = rkind = None
+            if restricted:
+                info = restricted_lam(
+                    graph, plan.compiled, source_id, target_id, lam_t,
+                    restriction,
+                    lambda: mt.walks_to(
+                        graph.vertex_name(target_id), memoryless=True
+                    ),
+                )
+                if info is None:
+                    return None
+                walk_lam = lam_t
+                lam_t, rkind = info
             return _Bucket(
                 source_input=source_input,
                 source_id=source_id,
@@ -1041,6 +1310,8 @@ class Database:
                 mt=mt,
                 lam=lam_t,
                 states=states,
+                walk_lam=walk_lam,
+                rkind=rkind,
             )
 
         kind = shape[0]
@@ -1067,6 +1338,19 @@ class Database:
 
             if kind == "many_to_one":
                 target_id = graph.resolve_vertex(shape[2])
+                if restricted:
+                    bs = [
+                        b
+                        for s, sid, mt in mts
+                        if (b := bucket(s, sid, mt, target_id)) is not None
+                    ]
+                    if not bs:
+                        return iter(()), None
+                    global_lam = min(b.lam for b in bs)
+                    return (
+                        iter([b for b in bs if b.lam == global_lam]),
+                        global_lam,
+                    )
                 lams = [
                     mt.annotation.target_info(target_id)[0]
                     for _, _, mt in mts
@@ -1088,6 +1372,24 @@ class Database:
             all_targets = sorted(
                 {t for _, _, mt in mts for t in mt.reached_targets()}
             )
+
+            if restricted:
+
+                def gen_restricted() -> Iterator[_Bucket]:
+                    for t in all_targets:
+                        bs = [
+                            b
+                            for s, sid, mt in mts
+                            if (b := bucket(s, sid, mt, t)) is not None
+                        ]
+                        if not bs:
+                            continue
+                        lam_t = min(b.lam for b in bs)
+                        for b in bs:
+                            if b.lam == lam_t:
+                                yield b
+
+                return gen_restricted(), None
 
             def gen() -> Iterator[_Bucket]:
                 for t in all_targets:
@@ -1141,10 +1443,12 @@ class Database:
         self,
         q: Query,
         handle: _GraphHandle,
+        plan: _Plan,
         buckets: Iterator[_Bucket],
         mode: str,
         cheapest: bool,
         count_cq: Any,
+        restriction: str = "walks",
     ) -> Iterator[Tuple[Row, Cursor]]:
         graph = handle.graph
         cursor = q._cursor
@@ -1175,10 +1479,24 @@ class Database:
                     resume = cursor.edges
                 else:
                     resume = None
-                walks = self._bucket_walks(
-                    graph, b.mt, b.target_name, b.target_id, b.lam,
-                    b.states, mode, resume,
-                )
+                if b.rkind == "fallback":
+                    walks = _skip_past_cursor(
+                        fallback_walks(
+                            graph, plan.compiled, b.source_id,
+                            b.target_id, restriction, b.lam,
+                        ),
+                        resume,
+                    )
+                else:
+                    walks = self._bucket_walks(
+                        graph, b.mt, b.target_name, b.target_id,
+                        b.walk_lam if b.rkind is not None else b.lam,
+                        b.states, mode, resume,
+                    )
+                    if b.rkind == "filter":
+                        walks = restricted_filter(
+                            graph, restriction, b.source_id, walks
+                        )
                 yield from _rows_of(
                     walks, b.source_name, b.target_name, b.lam, True,
                     count_cq,
@@ -1227,6 +1545,13 @@ class Database:
             raise QueryError(
                 f"unknown count method {method!r}; "
                 "expected 'enumerate' or 'dp'"
+            )
+        if method == "dp" and q._restriction != "walks":
+            raise QueryError(
+                "count(method='dp') applies to the 'walks' semantics "
+                f"only, not {q._restriction!r}: Remark 17's memoized DP "
+                "counts distinct shortest walks; restricted/any answer "
+                "sets are counted by enumeration (method='enumerate')"
             )
         base = q.limit(None).offset(0).cursor(None).timeout_ms(None)
         if method == "enumerate":
@@ -1291,11 +1616,41 @@ class Database:
             )
         handle = self._handle(q._graph_name)
         cheapest = q._semantics == "cheapest"
+        restriction = q._restriction
+        if cheapest and restriction != "walks":
+            raise QueryError(
+                "cheapest semantics supports the unrestricted 'walks' "
+                f"form only, not {restriction!r}"
+            )
         plan, _ = self._plan_for(
-            handle, q._construction, q._expression, q._rpq
+            handle, q._construction, q._expression, q._rpq, restriction
         )
+        if restriction == "any":
+            # Witness λ per target equals the walk λ — saturating
+            # any-walk searches, minimized over sources for to-all.
+            graph = handle.graph
+            if shape[0] == "one_to_all":
+                sids = [graph.resolve_vertex(shape[1])]
+            else:
+                seen_ids: set = set()
+                sids = []
+                for s in shape[1]:
+                    sid = graph.resolve_vertex(s)
+                    if sid not in seen_ids:
+                        seen_ids.add(sid)
+                        sids.append(sid)
+            best: Dict[int, int] = {}
+            for sid in sids:
+                for t, (lam_t, _) in any_walk_search(
+                    plan.compiled, sid
+                ).items():
+                    if t not in best or lam_t < best[t]:
+                        best[t] = lam_t
+            return [
+                (graph.vertex_name(t), best[t]) for t in sorted(best)
+            ]
         buckets, _ = self._buckets(
-            q, handle, plan, shape, cheapest, {}, {}
+            q, handle, plan, shape, cheapest, {}, {}, restriction
         )
         out: List[Tuple[Hashable, int]] = []
         for b in buckets:
@@ -1308,7 +1663,7 @@ class Database:
         shape = q._shape()
         cheapest = q._semantics == "cheapest"
         plan, plan_hit = self._plan_for(
-            handle, q._construction, q._expression, q._rpq
+            handle, q._construction, q._expression, q._rpq, q._restriction
         )
         qp = analyze(handle.graph, plan.rpq.automaton)
         cold_pair = (
@@ -1316,7 +1671,10 @@ class Database:
             and not cheapest
             and self._annotation_cache.capacity == 0
         )
-        if cold_pair:
+        if q._restriction == "any":
+            resolved = "early-exit BFS"
+            route = "any-walk witness search (annotation cache bypassed)"
+        elif cold_pair:
             if q._mode == "auto" and simple_eligible(
                 handle.graph, plan.rpq.automaton
             ):
@@ -1329,8 +1687,18 @@ class Database:
         else:
             resolved = self._resolve_mode(q._mode, cheapest)
             route = "cached multi-target annotation"
+        if q._restriction in ("trails", "simple"):
+            route += (
+                "; restricted filter over the λ-walk stream, guided "
+                "product-DFS fallback when rλ > λ"
+            )
         qp.reasons.append(
             f"façade: shape {shape[0]!r}, semantics {q._semantics!r}"
+            + (
+                f", restriction {q._restriction!r}"
+                if q._restriction != "walks"
+                else ""
+            )
             + (" + multiplicity" if q._multiplicity else "")
             + f", mode {q._mode!r} → {resolved}, via {route}"
         )

@@ -9,10 +9,17 @@ a terminal call:
   answers are the walks from *any* of the given sources that are
   globally shortest/cheapest among them), and :meth:`Query.all_pairs`
   (every source × every reachable target, per-pair λ);
-* **semantics** — :meth:`Query.shortest` (default, minimal edge
-  count), :meth:`Query.cheapest` (minimal total edge cost), plus the
-  :meth:`Query.with_multiplicity` modifier (annotate each row with its
-  number of accepting runs) and the :meth:`Query.count` terminal;
+* **semantics** — two sub-axes.  The *objective*:
+  :meth:`Query.shortest` (default, minimal edge count) or
+  :meth:`Query.cheapest` (minimal total edge cost).  The *walk
+  restriction*: ``walks`` (default — the paper's distinct shortest
+  walks), :meth:`Query.trails` (no repeated edge),
+  :meth:`Query.simple_paths` (no repeated vertex), or
+  :meth:`Query.any_walk` (one shortest witness per bucket, the
+  Cypher/GQL ``ANY`` cheap mode); :meth:`Query.semantics` selects
+  either sub-axis by name.  Plus the :meth:`Query.with_multiplicity`
+  modifier (annotate each row with its number of accepting runs) and
+  the :meth:`Query.count` terminal;
 * **execution** — :meth:`Query.mode` (engine override), pagination
   (:meth:`Query.limit` / :meth:`Query.offset` / :meth:`Query.cursor`),
   :meth:`Query.timeout_ms`, :meth:`Query.construction`.
@@ -63,6 +70,7 @@ if TYPE_CHECKING:  # pragma: no cover — import cycle guard
 _MODES = ("auto", "iterative", "recursive", "memoryless")
 _CONSTRUCTIONS = ("thompson", "glushkov")
 _SEMANTICS = ("shortest", "cheapest")
+_RESTRICTIONS = ("walks", "trails", "simple", "any")
 
 
 class Query:
@@ -86,6 +94,7 @@ class Query:
         self._to_all = False
         self._all_pairs = False
         self._semantics = "shortest"
+        self._restriction = "walks"
         self._multiplicity = False
         self._mode = "auto"
         self._limit: Optional[int] = None
@@ -194,12 +203,61 @@ class Query:
         q._semantics = "cheapest"
         return q
 
+    def walks(self) -> "Query":
+        """Back to the default walk semantics (no restriction)."""
+        q = self._clone()
+        q._restriction = "walks"
+        return q
+
+    def trails(self) -> "Query":
+        """Restrict answers to trails: no edge repeated in a walk.
+
+        rλ (the answer length) is the minimal length of a *restricted*
+        matching walk — at least the walk λ, and strictly larger when
+        every shortest walk repeats an edge (the executor then falls
+        back to a guided product-DFS; see :mod:`repro.core.restricted`).
+        """
+        q = self._clone()
+        q._restriction = "trails"
+        return q
+
+    def simple_paths(self) -> "Query":
+        """Restrict answers to simple paths: no vertex repeated."""
+        q = self._clone()
+        q._restriction = "simple"
+        return q
+
+    def any_walk(self) -> "Query":
+        """One shortest witness walk per bucket (Cypher/GQL ``ANY``).
+
+        The cheap mode: an early-exit BFS over the product — no
+        Trim/Enumerate machinery, no annotation-cache entry — honoring
+        ``limit``/``offset``/``timeout_ms``/cursors at the row level.
+        The witness length equals the plain-walks λ.
+        """
+        q = self._clone()
+        q._restriction = "any"
+        return q
+
     def semantics(self, which: str) -> "Query":
-        if which not in _SEMANTICS:
+        """Select a semantics sub-axis by name.
+
+        ``"shortest"`` / ``"cheapest"`` pick the objective (legacy
+        vocabulary); ``"walks"`` / ``"trails"`` / ``"simple"`` /
+        ``"any"`` pick the walk restriction — the two compose, except
+        that ``cheapest`` supports only the unrestricted ``walks``
+        form (checked at execution time).
+        """
+        if which in _SEMANTICS:
+            return self.cheapest() if which == "cheapest" else self.shortest()
+        if which not in _RESTRICTIONS:
             raise QueryError(
-                f"unknown semantics {which!r}; expected one of {_SEMANTICS}"
+                f"unknown semantics {which!r}; expected one of "
+                f"{_SEMANTICS + _RESTRICTIONS}"
             )
-        return self.cheapest() if which == "cheapest" else self.shortest()
+        q = self._clone()
+        q._restriction = which
+        return q
 
     def with_multiplicity(self, enabled: bool = True) -> "Query":
         """Annotate each row with its number of accepting runs (§5.3)."""
@@ -300,7 +358,12 @@ class Query:
         ``method="enumerate"`` counts by enumerating;
         ``method="dp"`` uses the memoized backward-tree dynamic
         program — exponentially faster on answer sets with many
-        shared suffixes.
+        shared suffixes.  The DP (and Remark 17's entry-count bound it
+        rests on) applies to the unrestricted **walks** semantics
+        only: trails/simple answer sets are not products of per-level
+        predecessor counts, and any-walk has no answer *set* — those
+        modes count by enumeration, and ``method="dp"`` raises
+        :class:`~repro.exceptions.QueryError` under them.
         """
         return self._db._count(self, method)
 
@@ -332,5 +395,6 @@ class Query:
             shape = ("unshaped",)
         return (
             f"Query({self._expression!r}, shape={shape!r}, "
-            f"semantics={self._semantics!r}, mode={self._mode!r})"
+            f"semantics={self._semantics!r}, "
+            f"restriction={self._restriction!r}, mode={self._mode!r})"
         )

@@ -80,6 +80,7 @@ def _base_query(args: argparse.Namespace, db: Database):
         db.query(args.expression)
         .construction(args.construction)
         .mode(args.mode)
+        .semantics(getattr(args, "semantics", "walks"))
     )
     if args.cheapest:
         query = query.cheapest()
@@ -433,6 +434,14 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["thompson", "glushkov"],
         default="thompson",
         help="regex→NFA construction (default: thompson)",
+    )
+    query.add_argument(
+        "--semantics",
+        choices=["walks", "trails", "simple", "any"],
+        default="walks",
+        help="walk semantics: distinct shortest walks (default), "
+        "trails (no repeated edge), simple paths (no repeated "
+        "vertex), or any (one witness walk)",
     )
     query.add_argument(
         "--limit", type=int, default=None, help="print at most N walks"

@@ -299,16 +299,21 @@ def annotate(
     :func:`annotate_reference` is the retained edge-major original;
     both produce identical annotation contents.
 
-    Queries compiled with ``eliminate_epsilon=False`` delegate to the
-    reference traversal: Section 5.1's ``PossiblyVisit`` propagates
-    witnesses through ε-closures only at *first* discovery, so its
-    output depends on the edge visit order — reordering the scan would
-    silently change which (edge, predecessor) pair the ε-successors
-    inherit.  The ε-eliminated default (the only mode the engine uses)
-    has no such order sensitivity.
+    Queries compiled with ``eliminate_epsilon=False`` take the packed
+    **edge-major** traversal (:func:`_annotate_eps_packed`): Section
+    5.1's ``PossiblyVisit`` propagates witnesses through ε-closures
+    only at *first* discovery, so its output depends on the edge visit
+    order — the ε path therefore replicates
+    :func:`annotate_reference`'s scan order exactly (``Out(v)`` in
+    edge order, the edge's labels in label order, an explicit
+    ε-closure stack) while recording into the packed entry log, so the
+    compatibility ``B`` view is bit-identical to the reference's
+    dicts.  The ε-eliminated default (the only mode the engine uses)
+    has no such order sensitivity and uses the label-indexed CSR scan
+    below.
     """
     if cq.has_eps:
-        return annotate_reference(cq, source, target, saturate)
+        return _annotate_eps_packed(cq, source, target, saturate)
     graph = cq.graph
     n = graph.vertex_count
     n_states = cq.n_states
@@ -440,6 +445,146 @@ def annotate(
         n=n,
         n_states=n_states,
     )
+
+
+def _annotate_eps_packed(
+    cq: CompiledQuery,
+    source: int,
+    target: Optional[int] = None,
+    saturate: bool = False,
+) -> Annotation:
+    """The packed ε-aware ``Annotate``: edge-major with ``PossiblyVisit``.
+
+    Mirrors :func:`annotate_reference`'s traversal order exactly (see
+    :func:`annotate`'s docstring for why the order is load-bearing
+    under ε) but carries ``L`` as the flat ``dist`` array and logs
+    ``B`` entries into the append-only packed log, so ε-queries get
+    the same packed downstream pipeline as ε-free ones.
+    """
+    graph = cq.graph
+    n = graph.vertex_count
+    n_states = cq.n_states
+    out = graph.out_array
+    tgt_arr = graph.tgt_array
+    ti_arr = graph.tgt_idx_array
+    labels_arr = graph.label_array
+    delta = cq.delta
+    eps = cq.eps
+    final = cq.final
+
+    dist = array("q", [-1]) * (n * n_states)
+    ent_key = array("q")
+    ent_ti = array("q")
+    ent_pred = array("q")
+    key_append = ent_key.append
+    ti_append = ent_ti.append
+    pred_append = ent_pred.append
+
+    next_pairs: List[Tuple[int, int]] = []
+    source_base = source * n_states
+    for p in sorted(cq.initial_closure):
+        dist[source_base + p] = 0
+        next_pairs.append((source, p))
+
+    def result(
+        lam: Optional[int],
+        target_states: FrozenSet[int],
+        saturated: bool,
+        steps: int,
+    ) -> Annotation:
+        return Annotation(
+            source=source,
+            target=target,
+            lam=lam,
+            target_states=target_states,
+            saturated=saturated,
+            steps=steps,
+            final=final,
+            initial_closure=cq.initial_closure,
+            dist=dist,
+            packed=PackedBack.from_entries(
+                n, n_states, ent_key, ent_ti, ent_pred
+            ),
+            n=n,
+            n_states=n_states,
+        )
+
+    # λ = 0 edge case: the trivial walk ⟨s⟩ matches iff ε ∈ L(A).
+    if (
+        target is not None
+        and target == source
+        and (cq.initial_closure & final)
+        and not saturate
+    ):
+        return result(0, frozenset(cq.initial_closure & final), False, 0)
+
+    stop = False
+    level = 0
+    while next_pairs and not stop:
+        level += 1
+        current, next_pairs = next_pairs, []
+        for v, q in current:
+            dq = delta[q]
+            for e in out[v]:
+                u = tgt_arr[e]
+                u_base = u * n_states
+                ti = ti_arr[e]
+                for a in labels_arr[e]:
+                    targets = dq.get(a)
+                    if not targets:
+                        continue
+                    for p in targets:
+                        known = dist[u_base + p]
+                        if known < 0:
+                            # First time state p is reached at vertex u.
+                            dist[u_base + p] = level
+                            next_pairs.append((u, p))
+                            if u == target and p in final and not saturate:
+                                stop = True
+                            key_append(u_base + p)
+                            ti_append(ti)
+                            pred_append(q)
+                            if eps[p]:
+                                # PossiblyVisit: ε-closure with the same
+                                # predecessor q and edge e.
+                                stack = list(eps[p])
+                                while stack:
+                                    r = stack.pop()
+                                    known_r = dist[u_base + r]
+                                    if known_r < 0:
+                                        dist[u_base + r] = level
+                                        next_pairs.append((u, r))
+                                        if (
+                                            u == target
+                                            and r in final
+                                            and not saturate
+                                        ):
+                                            stop = True
+                                        key_append(u_base + r)
+                                        ti_append(ti)
+                                        pred_append(q)
+                                        stack.extend(eps[r])
+                                    elif known_r == level:
+                                        key_append(u_base + r)
+                                        ti_append(ti)
+                                        pred_append(q)
+                        elif known == level:
+                            # Another walk of the same (minimal) length
+                            # reaches p at u: record the extra witness.
+                            key_append(u_base + p)
+                            ti_append(ti)
+                            pred_append(q)
+
+    if target is not None and not saturate:
+        if stop:
+            t_base = target * n_states
+            target_states = frozenset(
+                f for f in final if dist[t_base + f] == level
+            )
+            return result(level, target_states, False, level)
+        return result(None, frozenset(), False, level)
+
+    return result(None, frozenset(), True, level)
 
 
 def annotate_reference(

@@ -93,12 +93,34 @@ class RPQ:
         source: Hashable,
         target: Hashable,
         mode: str = "auto",
+        semantics: str = "walks",
     ) -> Iterator[Walk]:
-        """Enumerate distinct shortest matching walks."""
+        """Enumerate distinct shortest matching walks.
+
+        ``semantics`` selects the walk restriction: ``"walks"``
+        (default), ``"trails"`` (no repeated edge) or ``"simple"``
+        (no repeated vertex) — see
+        :meth:`repro.api.query.Query.semantics`.
+        """
         return (
             self.query(graph).from_(source).to(target).mode(mode)
-            .run().walks()
+            .semantics(semantics).run().walks()
         )
+
+    def any_walk(
+        self,
+        graph: Graph,
+        source: Hashable,
+        target: Hashable,
+    ) -> Optional[Walk]:
+        """One shortest witness walk, or ``None`` — the cheap
+        single-answer mode (early-exit BFS, no enumeration
+        machinery)."""
+        rows = (
+            self.query(graph).from_(source).to(target).any_walk()
+            .run().all()
+        )
+        return rows[0].walk if rows else None
 
     def shortest_walks_with_multiplicity(
         self,

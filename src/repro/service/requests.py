@@ -54,6 +54,7 @@ from repro.exceptions import ReproError
 
 _MODES = ("auto", "iterative", "recursive", "memoryless")
 _CONSTRUCTIONS = ("thompson", "glushkov")
+_SEMANTICS = ("walks", "trails", "simple", "any")
 
 
 class RequestError(ReproError):
@@ -73,6 +74,10 @@ class QueryRequest:
     mode: str = "auto"
     #: Regex → NFA construction for the plan.
     construction: str = "thompson"
+    #: Walk semantics: ``"walks"`` (distinct shortest walks, the
+    #: default), ``"trails"`` / ``"simple"`` (no repeated edge /
+    #: vertex), or ``"any"`` (one witness walk per pair).
+    semantics: str = "walks"
     #: Page size; ``None`` = all answers.
     limit: Optional[int] = None
     #: Answers to skip before the page starts (O(offset) walk work;
@@ -102,6 +107,11 @@ class QueryRequest:
             raise RequestError(
                 f"unknown construction {self.construction!r}; "
                 f"expected one of {_CONSTRUCTIONS}"
+            )
+        if self.semantics not in _SEMANTICS:
+            raise RequestError(
+                f"unknown semantics {self.semantics!r}; "
+                f"expected one of {_SEMANTICS}"
             )
         if self.limit is not None and (
             not isinstance(self.limit, int) or self.limit < 1
@@ -155,6 +165,8 @@ class QueryRequest:
             out["mode"] = self.mode
         if self.construction != "thompson":
             out["construction"] = self.construction
+        if self.semantics != "walks":
+            out["semantics"] = self.semantics
         if self.limit is not None:
             out["limit"] = self.limit
         if self.offset:

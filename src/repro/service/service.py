@@ -345,6 +345,7 @@ class QueryService:
             .construction(request.construction)
             .from_(request.source)
             .to(request.target)
+            .semantics(request.semantics)
             .mode(request.mode)
             .limit(request.limit)
             .offset(request.offset)

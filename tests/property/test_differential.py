@@ -56,17 +56,22 @@ from typing import List, Tuple
 import pytest
 
 from repro.api import Database
-from repro.baselines.oracle import oracle_answer_set, oracle_lam
+from repro.baselines.oracle import (
+    oracle_answer_set,
+    oracle_lam,
+    oracle_restricted_set,
+    oracle_walk_matches,
+    random_graph,
+    random_regex,
+)
 from repro.core.annotate import annotate_reference
 from repro.core.compile import compile_query
 from repro.core.engine import DistinctShortestWalks
 from repro.core.enumerate import enumerate_walks
+from repro.core.restricted import restriction_predicate
 from repro.core.trim import trim
-from repro.graph.builder import GraphBuilder
-from repro.graph.database import Graph
 from repro.query import rpq
 
-_ALPHABET = ("a", "b", "c")
 _MODES = ("iterative", "recursive", "memoryless", "auto")
 
 SEED_BASE = int(os.environ.get("DIFF_SEED_BASE", "0"))
@@ -84,40 +89,13 @@ _skips: List[int] = []
 _runs: List[int] = []
 
 
-def _random_graph(rng: random.Random) -> Graph:
-    n = rng.randint(1, 6)
-    m = rng.randint(0, 12)
-    builder = GraphBuilder()
-    builder.add_vertices([f"v{i}" for i in range(n)])
-    for _ in range(m):
-        src = rng.randrange(n)
-        tgt = rng.randrange(n)
-        labels = rng.sample(_ALPHABET, rng.randint(1, len(_ALPHABET)))
-        builder.add_edge(f"v{src}", f"v{tgt}", sorted(labels))
-    return builder.build()
-
-
-def _random_regex(rng: random.Random, depth: int = 3) -> str:
-    if depth == 0:
-        return rng.choice(_ALPHABET)
-    roll = rng.random()
-    if roll < 0.25:
-        return rng.choice(_ALPHABET)
-    if roll < 0.45:
-        return f"({_random_regex(rng, depth - 1)} {_random_regex(rng, depth - 1)})"
-    if roll < 0.65:
-        return f"({_random_regex(rng, depth - 1)} | {_random_regex(rng, depth - 1)})"
-    if roll < 0.80:
-        return f"({_random_regex(rng, depth - 1)})*"
-    if roll < 0.90:
-        return f"({_random_regex(rng, depth - 1)})+"
-    return f"({_random_regex(rng, depth - 1)})?"
-
-
 def _draw_case(seed: int):
+    # Generators live in repro.baselines.oracle now (previously
+    # copy-pasted per harness); the draw sequence is unchanged, so
+    # historical seeds replay the same instances.
     rng = random.Random(seed)
-    graph = _random_graph(rng)
-    expression = _random_regex(rng)
+    graph = random_graph(rng)
+    expression = random_regex(rng)
     source = rng.randrange(graph.vertex_count)
     target = rng.randrange(graph.vertex_count)
     return graph, expression, source, target
@@ -348,6 +326,150 @@ def test_facade_from_any_to_all_matches_oracle(case: int) -> None:
     assert set(got) == set(expected), context
     for t, pairs in got.items():
         assert sorted(pairs) == expected[t], f"target {t} ({context})"
+
+
+@pytest.mark.parametrize("case", range(N_CASES))
+def test_semantics_matrix(case: int) -> None:
+    """Every semantics mode × engine mode vs its own oracle.
+
+    The semantics column of the differential matrix: per case, the
+    façade runs ``walks`` / ``trails`` / ``simple`` / ``any`` under
+    each engine mode and is checked against the matching ground truth
+    (:mod:`repro.baselines.oracle`) for distinctness,
+    restriction-validity, completeness, and — where defined — output
+    order (the restricted filter preserves the paper's DFS order; the
+    fallback DFS and the any-walk witness are deterministic).
+    """
+    seed = SEED_BASE + 40_000 + case
+    graph, expression, source, target = _draw_case(seed)
+    nfa = rpq(expression).automaton
+    context = (
+        f"seed={seed} |V|={graph.vertex_count} |E|={graph.edge_count} "
+        f"regex={expression!r} s={source} t={target}"
+    )
+
+    walk_lam = oracle_lam(graph, nfa, source, target)
+    if walk_lam is not None and walk_lam > _MAX_ORACLE_LAM:
+        _skips.append(seed)
+        pytest.skip(f"λ={walk_lam} beyond the oracle budget ({context})")
+    try:
+        walk_set = oracle_answer_set(
+            graph, nfa, source, target, max_walks=_ORACLE_WALK_BUDGET
+        )
+        restricted = {
+            kind: oracle_restricted_set(
+                graph, nfa, source, target, kind,
+                max_walks=_ORACLE_WALK_BUDGET,
+            )
+            for kind in ("trails", "simple")
+        }
+    except RuntimeError:
+        _skips.append(seed)
+        pytest.skip(f"oracle walk budget exhausted ({context})")
+    _runs.append(seed)
+
+    db = Database(graph)
+    base = db.query(expression).from_(source).to(target)
+    order: dict = {}
+    for mode in _MODES:
+        # walks — the unrestricted baseline column.
+        result = base.mode(mode).run()
+        edges = [row.walk.edges for row in result]
+        assert result.lam == walk_lam, f"walks λ ({mode}, {context})"
+        assert sorted(edges) == walk_set, f"walks set ({mode}, {context})"
+
+        # trails / simple — rλ + exact restricted answer sets.
+        for kind, (rlam, rset) in restricted.items():
+            result = base.semantics(kind).mode(mode).run()
+            edges = [row.walk.edges for row in result]
+            assert result.lam == rlam, f"{kind} rλ ({mode}, {context})"
+            assert len(set(edges)) == len(edges), (
+                f"{kind} duplicates ({mode}, {context})"
+            )
+            pred = restriction_predicate(kind, graph)
+            assert all(pred(e, source) for e in edges), (
+                f"{kind} emitted a restriction-violating walk "
+                f"({mode}, {context})"
+            )
+            assert sorted(edges) == rset, (
+                f"{kind} answer set differs from the oracle "
+                f"({mode}, {context})"
+            )
+            order.setdefault(kind, {})[mode] = edges
+
+        # any — at most one output: a valid witness of walk length λ.
+        result = base.any_walk().mode(mode).run()
+        rows = result.all()
+        if walk_lam is None:
+            assert rows == [] and result.lam is None, (
+                f"any-walk on an empty instance ({mode}, {context})"
+            )
+        else:
+            assert len(rows) == 1, f"any-walk row count ({mode}, {context})"
+            witness = rows[0].walk.edges
+            assert result.lam == walk_lam == len(witness), (
+                f"any-walk witness length ({mode}, {context})"
+            )
+            assert oracle_walk_matches(
+                graph, nfa, witness, source, target
+            ), f"any-walk witness invalid ({mode}, {context})"
+            order.setdefault("any", {})[mode] = [witness]
+
+    # Order where defined: the general modes share the DFS order, the
+    # restricted streams inherit it (filter) or use the deterministic
+    # fallback DFS, and the any-walk witness is a pure function of the
+    # instance — so every engine mode must produce identical output.
+    for kind, per_mode in order.items():
+        assert per_mode["iterative"] == per_mode["recursive"], (
+            f"{kind} order ({context})"
+        )
+        assert per_mode["iterative"] == per_mode["memoryless"], (
+            f"{kind} order ({context})"
+        )
+
+
+def test_oracle_non_degeneracy() -> None:
+    """Each restricted oracle disagrees with plain walks somewhere.
+
+    Guards the matrix against silent degeneration: if random instances
+    never exercised a semantics difference, the trails/simple/any
+    columns would be vacuous re-checks of the walks column.  The probe
+    uses a fixed seed range (independent of ``DIFF_SEED_BASE``) so the
+    guarantee holds in every CI matrix entry.
+    """
+    need = {"trails", "simple", "any"}
+    for probe in range(2_000):
+        if not need:
+            break
+        rng = random.Random(1_000_000 + probe)
+        graph = random_graph(rng)
+        expression = random_regex(rng)
+        source = rng.randrange(graph.vertex_count)
+        target = rng.randrange(graph.vertex_count)
+        nfa = rpq(expression).automaton
+        lam = oracle_lam(graph, nfa, source, target)
+        if lam is None or lam > _MAX_ORACLE_LAM:
+            continue
+        try:
+            walk_set = oracle_answer_set(
+                graph, nfa, source, target, max_walks=_ORACLE_WALK_BUDGET
+            )
+            if "any" in need and len(walk_set) > 1:
+                need.discard("any")  # One witness ≠ the full answer set.
+            for kind in ("trails", "simple"):
+                if kind in need:
+                    rlam, rset = oracle_restricted_set(
+                        graph, nfa, source, target, kind,
+                        max_walks=_ORACLE_WALK_BUDGET,
+                    )
+                    if (rlam, rset) != (lam, walk_set):
+                        need.discard(kind)
+        except RuntimeError:
+            continue
+    assert not need, (
+        f"oracles degenerate on the probe range: {sorted(need)} never "
+        "disagreed with plain walks"
+    )
 
 
 def test_skip_budget_not_exhausted() -> None:

@@ -39,6 +39,7 @@ from typing import List
 import pytest
 
 from repro.api import Database
+from repro.baselines.oracle import random_regex_compact
 from repro.core.engine import DistinctShortestWalks
 from repro.graph.builder import GraphBuilder
 from repro.live import (
@@ -75,17 +76,9 @@ def _random_base(rng: random.Random):
 
 
 def _random_regex(rng: random.Random, depth: int = 2) -> str:
-    if depth == 0 or rng.random() < 0.3:
-        return rng.choice(_ALPHABET)
-    roll = rng.random()
-    inner = _random_regex(rng, depth - 1)
-    if roll < 0.35:
-        return f"({inner} {_random_regex(rng, depth - 1)})"
-    if roll < 0.6:
-        return f"({inner} | {_random_regex(rng, depth - 1)})"
-    if roll < 0.8:
-        return f"({inner})*"
-    return f"({inner})+"
+    # The shared compact grammar (repro.baselines.oracle); the local
+    # graph generator stays — its draw order predates the shared one.
+    return random_regex_compact(rng, depth)
 
 
 def _random_batch(rng: random.Random, live: LiveGraph) -> List:
