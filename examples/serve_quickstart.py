@@ -1,0 +1,134 @@
+"""Quickstart for the multi-process serving tier (``repro serve``).
+
+Boots the CLI server on a small graph with 2 workers, then exercises
+the full serving story over real TCP:
+
+1. queries and a mutation through one JSONL connection (the mutation
+   is a write barrier — the next query sees the new edge);
+2. a pipelined burst with a worker SIGKILL'd mid-stream — every
+   request is still answered (retried on the respawned pool or failed
+   with the structured ``code="worker_crashed"``), and the server
+   keeps serving afterwards;
+3. graceful SIGTERM drain, exit 0, no shared-memory litter.
+
+CI runs this as the ``serve-smoke`` job; it is Linux-specific (worker
+pids come from ``/proc``).  Run it yourself with::
+
+    PYTHONPATH=src python examples/serve_quickstart.py
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+from repro.serve import ServeClient
+
+GRAPH = """\
+Alix -> Dan : h, s
+Dan  -> Eve : h
+Eve  -> Bob : s
+Alix -> Bob : t
+"""
+
+
+def _worker_pids(server_pid: int) -> list:
+    """Direct children of the server process (Linux /proc)."""
+    path = f"/proc/{server_pid}/task/{server_pid}/children"
+    with open(path, encoding="ascii") as fh:
+        return [int(pid) for pid in fh.read().split()]
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="serve-quickstart-") as tmp:
+        graph_path = os.path.join(tmp, "graph.txt")
+        with open(graph_path, "w", encoding="utf-8") as fh:
+            fh.write(GRAPH)
+
+        server = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", graph_path,
+             "--workers", "2"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            text=True,
+        )
+        try:
+            boot = server.stdout.readline()
+            match = re.match(r"listening on ([\d.]+):(\d+)", boot)
+            assert match, f"unexpected boot line: {boot!r}"
+            host, port = match.group(1), int(match.group(2))
+            print(f"server up at {host}:{port} (pid {server.pid})")
+
+            with ServeClient(host, port) as client:
+                # 1. Query → mutate → read-your-writes query.
+                first = client.query("h* s (h | s)*", "Alix", "Bob")
+                assert first["status"] == "ok" and first["lam"] == 3, first
+                receipt = client.mutate(
+                    [{"op": "add_edge", "src": "Bob", "tgt": "Alix",
+                      "labels": ["h"]}]
+                )
+                assert receipt["status"] == "ok", receipt
+                assert receipt["result"]["serve_epoch"] == 1, receipt
+                after = client.query("h", "Bob", "Alix")
+                assert after["status"] == "ok" and after["lam"] == 1, after
+                print("query/mutate/read-your-writes: OK")
+
+                # 2. Pipelined burst with a worker killed mid-stream.
+                burst = 32
+                for i in range(burst):
+                    client.send(
+                        {"query": "h* s (h | s)*", "source": "Alix",
+                         "target": "Bob", "id": i}
+                    )
+                client.flush()
+                victim = _worker_pids(server.pid)[0]
+                os.kill(victim, signal.SIGKILL)
+                print(f"killed worker {victim} with {burst} requests "
+                      "in flight")
+                answered = [client.recv() for _ in range(burst)]
+                assert len(answered) == burst
+                crashed = 0
+                for response in answered:
+                    if response["status"] == "ok":
+                        assert response["lam"] == 3, response
+                    else:
+                        assert response.get("code") == "worker_crashed", (
+                            response
+                        )
+                        crashed += 1
+                print(f"all {burst} in-flight requests answered "
+                      f"({burst - crashed} ok, {crashed} worker_crashed)")
+
+                # The pool healed: the same connection keeps working.
+                healed = client.query("h* s (h | s)*", "Alix", "Bob")
+                assert healed["status"] == "ok" and healed["lam"] == 3
+                print("post-crash query on the respawned pool: OK")
+
+            # 3. Graceful drain.
+            server.send_signal(signal.SIGTERM)
+            assert server.wait(timeout=30) == 0, server.returncode
+        finally:
+            if server.poll() is None:  # pragma: no cover - failure path
+                server.kill()
+                server.wait(timeout=10)
+
+        for _ in range(50):  # segment unlink races process exit briefly
+            litter = [
+                name for name in os.listdir("/dev/shm")
+                if name.startswith(f"repro-{server.pid:x}-")
+            ] if os.path.isdir("/dev/shm") else []
+            if not litter:
+                break
+            time.sleep(0.1)
+        assert not litter, f"shared-memory litter left behind: {litter}"
+        print("graceful SIGTERM drain, exit 0, /dev/shm clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

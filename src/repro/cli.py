@@ -14,6 +14,7 @@ Usage (also available as ``python -m repro``)::
     python -m repro mutate  GRAPH ops.jsonl --wal-dir wal/
     python -m repro recover wal/ --save recovered.json
     python -m repro follow  wal/ --once --query "h+" --source Alix --target Bob
+    python -m repro serve   GRAPH --port 7687 --workers 4
 
 ``GRAPH`` is a path to either a JSON database (``save_json``) or the
 line-based edge-list format::
@@ -43,6 +44,13 @@ graph every time).  ``recover`` rebuilds the state of a WAL directory
 (latest valid snapshot + tail replay) and reports the log geometry;
 ``follow`` tails a WAL directory as a read-only replica and can
 answer queries from it.
+
+Serving (:mod:`repro.serve`): ``serve`` publishes the packed graph
+into a shared-memory segment and answers the same JSONL protocol over
+TCP from a pool of worker processes (``--stdio`` serves a single
+connection over stdin/stdout instead).  The bound address is printed
+as ``listening on HOST:PORT`` once the workers are ready; stop with
+SIGTERM/Ctrl-C for a graceful drain.
 
 Exit codes: 0 = answers found / info printed, 1 = no matching walk
 (for ``batch``: at least one request errored), 2 = input error (bad
@@ -384,6 +392,47 @@ def _cmd_follow(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Boot the multi-process serving tier on a graph file."""
+    import asyncio
+
+    from repro.serve import serve
+
+    graph = _load_graph(args.graph)
+
+    def on_ready(server, port) -> None:
+        if port is not None:
+            # The scripts/tests boot protocol: one parseable line on
+            # stdout announcing the endpoint, flushed immediately.
+            print(f"listening on {args.host}:{port}", flush=True)
+            print(
+                f"workers={server.workers} routing={server.routing} "
+                f"segment={server.segment_name}",
+                file=sys.stderr,
+                flush=True,
+            )
+
+    try:
+        asyncio.run(
+            serve(
+                graph,
+                host=args.host,
+                port=args.port,
+                stdio=args.stdio,
+                on_ready=on_ready,
+                workers=args.workers,
+                max_inflight=args.max_inflight,
+                routing=args.routing,
+                plan_cache_size=args.plan_cache,
+                annotation_cache_size=args.annotation_cache,
+                default_mode=args.mode,
+            )
+        )
+    except KeyboardInterrupt:  # pragma: no cover - interactive ^C
+        pass
+    return 0
+
+
 def _cmd_plan(args: argparse.Namespace) -> int:
     graph = _load_graph(args.graph)
     query = rpq(args.expression, method=args.construction)
@@ -629,6 +678,65 @@ def build_parser() -> argparse.ArgumentParser:
         "--limit", type=int, default=None, help="emit at most N walks"
     )
     follow.set_defaults(func=_cmd_follow)
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="serve the graph over TCP from a pool of worker processes",
+    )
+    serve_p.add_argument("graph", help="graph file (.json or edge list)")
+    serve_p.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: local)"
+    )
+    serve_p.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port (default: 0 = pick a free port, printed on stdout)",
+    )
+    serve_p.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="worker processes mapping the shared graph (default: 2)",
+    )
+    serve_p.add_argument(
+        "--max-inflight",
+        type=int,
+        default=8,
+        help="bounded in-flight requests per worker (default: 8)",
+    )
+    serve_p.add_argument(
+        "--routing",
+        choices=["round_robin", "affinity"],
+        default="round_robin",
+        help="dispatch policy: round_robin, or affinity — pin each "
+        "(query, source) pair to one worker so the pool's aggregate "
+        "annotation-cache capacity scales with the worker count",
+    )
+    serve_p.add_argument(
+        "--mode",
+        choices=["iterative", "recursive", "memoryless"],
+        default="memoryless",
+        help="worker default mode for requests that do not set one",
+    )
+    serve_p.add_argument(
+        "--plan-cache",
+        type=int,
+        default=256,
+        help="per-worker plan cache capacity",
+    )
+    serve_p.add_argument(
+        "--annotation-cache",
+        type=int,
+        default=128,
+        help="per-worker annotation cache capacity",
+    )
+    serve_p.add_argument(
+        "--stdio",
+        action="store_true",
+        help="serve one JSONL connection over stdin/stdout instead of TCP",
+    )
+    serve_p.set_defaults(func=_cmd_serve)
 
     plan = sub.add_parser("plan", help="explain the chosen algorithm")
     plan.add_argument("graph")

@@ -45,9 +45,15 @@ read).
 The documented mapping contract is preserved as *compatibility views*:
 :attr:`Annotation.L` and :attr:`Annotation.B` lazily materialize the
 historical ``L[u][p]`` / ``B[u][p][i]`` dicts on first access, with
-contents (including within-cell order and duplicates) identical to
-what the pre-packed implementation built in place.  The reference
-traversals (:func:`annotate_reference`,
+the same cells and the same witness multisets (duplicates included, in
+the traversal's own append order) as an in-place dict build of the
+same traversal.  Within-cell *order* is traversal-specific, not part
+of the contract: the label-indexed scan and the edge-major reference
+discover a BFS level in different orders, so two frontier pairs of the
+same vertex may append their witnesses to a shared cell in either
+order — unobservable downstream, because ``Trim`` sorts and dedups the
+certificates of every cell it keeps.  The reference traversals
+(:func:`annotate_reference`,
 :func:`~repro.core.cheapest.cheapest_annotate_reference`) still build
 dicts natively; such annotations carry no packed form and downstream
 consumers transparently fall back to the mapping views.

@@ -113,3 +113,14 @@ class EnumerationStateError(ReproError):
     Raised for instance when two enumerations that share one trimmed
     annotation are interleaved without resetting it.
     """
+
+
+class ShmError(ReproError):
+    """Shared-memory serving-segment failure (repro.serve.shm).
+
+    Raised when a segment cannot be published (a vertex name that does
+    not survive the JSON interning table), when an attach target is
+    missing, or when the attached block fails validation (bad magic,
+    unsupported version, header or data CRC mismatch — e.g. a stale or
+    torn segment left behind by a crashed owner).
+    """

@@ -51,7 +51,19 @@ from __future__ import annotations
 
 import threading
 from array import array
-from typing import Dict, Hashable, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Hashable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.serve.shm import GraphSegment
 
 #: A label-indexed CSR view: (bucket offsets, edge-id payload).  Bucket
 #: ``a * |V| + v`` spans ``payload[indptr[b] : indptr[b + 1]]``, edge
@@ -111,13 +123,18 @@ class Graph:
         self._label_ids: Dict[str, int] = {
             name: i for i, name in enumerate(self._label_names)
         }
-        self._src: Tuple[int, ...] = tuple(src)
-        self._tgt: Tuple[int, ...] = tuple(tgt)
+        # The flat edge-indexed columns are packed ``array('q')``
+        # buffers, not tuples: they index and iterate exactly like the
+        # tuples they replaced, but live in one contiguous allocation
+        # that ``Graph.to_shared`` can blit into a shared-memory
+        # segment without re-packing.
+        self._src: array = array("q", src)
+        self._tgt: array = array("q", tgt)
         self._labels: Tuple[Tuple[int, ...], ...] = tuple(
             tuple(ls) for ls in labels
         )
-        self._costs: Optional[Tuple[int, ...]] = (
-            tuple(costs) if costs is not None else None
+        self._costs: Optional[array] = (
+            array("q", costs) if costs is not None else None
         )
 
         n = len(self._vertex_names)
@@ -145,7 +162,7 @@ class Graph:
         for in_list in self._in:
             for i, e in enumerate(in_list):
                 tgt_idx[e] = i
-        self._tgt_idx: Tuple[int, ...] = tuple(tgt_idx)
+        self._tgt_idx: array = array("q", tgt_idx)
 
         # Label-indexed CSR views and per-vertex label summaries are
         # built lazily (O(|D|) counting sort) on first use.
@@ -153,7 +170,7 @@ class Graph:
         self._in_csr: Optional[CsrIndex] = None
         self._out_label_tuples: Optional[Tuple[Tuple[int, ...], ...]] = None
         self._in_label_tuples: Optional[Tuple[Tuple[int, ...], ...]] = None
-        self._cost_cache: Optional[Tuple[int, ...]] = None
+        self._cost_cache: Optional[array] = None
         # Build-once guard: the lazy indexes are shared read-only by
         # every query against this (immutable) graph, including the
         # concurrent batch executor of :mod:`repro.service` — the first
@@ -456,18 +473,23 @@ class Graph:
 
     # -- raw arrays for hot loops ------------------------------------------------
 
-    # The enumeration core reads these tuples directly instead of going
-    # through bound methods; this is the single concession to speed and
-    # is part of the intra-package interface only.
+    # The enumeration core reads these flat buffers directly instead of
+    # going through bound methods; this is the single concession to
+    # speed and is part of the intra-package interface only.  The
+    # edge-indexed columns (`src`/`tgt`/`tgt_idx`/`cost`) are packed
+    # ``array('q')`` buffers (zero-copy ``memoryview`` casts on a
+    # shared-memory attached graph); consumers index and iterate them
+    # like the tuples they replaced but must not compare them *to*
+    # tuples with ``==``.
 
     @property
-    def src_array(self) -> Tuple[int, ...]:
-        """Edge-id-indexed source vertices (internal fast path)."""
+    def src_array(self) -> Sequence[int]:
+        """Edge-id-indexed source vertices, flat ``'q'`` buffer."""
         return self._src
 
     @property
-    def tgt_array(self) -> Tuple[int, ...]:
-        """Edge-id-indexed target vertices (internal fast path)."""
+    def tgt_array(self) -> Sequence[int]:
+        """Edge-id-indexed target vertices, flat ``'q'`` buffer."""
         return self._tgt
 
     @property
@@ -486,15 +508,15 @@ class Graph:
         return self._in
 
     @property
-    def tgt_idx_array(self) -> Tuple[int, ...]:
-        """Edge-id-indexed TgtIdx values (internal fast path)."""
+    def tgt_idx_array(self) -> Sequence[int]:
+        """Edge-id-indexed TgtIdx values, flat ``'q'`` buffer."""
         return self._tgt_idx
 
     @property
-    def cost_array(self) -> Tuple[int, ...]:
+    def cost_array(self) -> Sequence[int]:
         """Edge-id-indexed costs; unit costs when none were provided.
 
-        Memoized: the unit-cost tuple is materialized once, not on
+        Memoized: the unit-cost buffer is materialized once, not on
         every access (the Dijkstra setup reads this per query).
         """
         if self._costs is not None:
@@ -502,8 +524,40 @@ class Graph:
         if self._cost_cache is None:
             with self._lazy_lock:
                 if self._cost_cache is None:
-                    self._cost_cache = tuple([1] * self.edge_count)
+                    self._cost_cache = array("q", [1]) * self.edge_count
         return self._cost_cache
+
+    # -- shared memory -----------------------------------------------------------
+
+    def to_shared(self, name: Optional[str] = None) -> "GraphSegment":
+        """Publish this graph into a named shared-memory segment.
+
+        Packs every flat buffer (edge columns plus both label-indexed
+        CSR views) and the interning tables into one
+        :class:`multiprocessing.shared_memory.SharedMemory` block with
+        a CRC'd header, so worker processes can map it zero-copy via
+        :meth:`from_shared`.  Returns the owning
+        :class:`repro.serve.shm.GraphSegment` handle — the caller is
+        responsible for ``close(unlink=True)`` (the serve tier also
+        unlinks on SIGTERM/atexit).
+        """
+        from repro.serve.shm import GraphSegment
+
+        return GraphSegment.create(self, name=name)
+
+    @classmethod
+    def from_shared(cls, name: str) -> "Graph":
+        """Attach a segment published by :meth:`to_shared`.
+
+        Returns a :class:`repro.serve.shm.SharedGraph` — a ``Graph``
+        whose flat edge columns and CSR buffers are zero-copy
+        ``memoryview`` casts over the shared block.  Call its
+        ``detach()`` when done (closing does *not* unlink; the owner
+        does that).
+        """
+        from repro.serve.shm import attach
+
+        return attach(name)
 
     # -- convenience ----------------------------------------------------------------
 

@@ -518,8 +518,8 @@ class LiveGraph:
         base_m = base.edge_count
         view = _View()
 
-        view.src_array = base._src + tuple(self._o_src)
-        view.tgt_array = base._tgt + tuple(self._o_tgt)
+        view.src_array = base._src + array("q", self._o_src)
+        view.tgt_array = base._tgt + array("q", self._o_tgt)
         if self._label_override:
             labels = list(base._labels) + self._o_labels
             for e, ls in self._label_override.items():
@@ -528,9 +528,11 @@ class LiveGraph:
         else:
             view.label_array = base._labels + tuple(self._o_labels)
         if self.has_costs:
-            view.cost_array = base.cost_array + tuple(self._o_costs)
+            view.cost_array = array("q", base.cost_array) + array(
+                "q", self._o_costs
+            )
         else:
-            view.cost_array = tuple([1] * self.edge_count)
+            view.cost_array = array("q", [1]) * self.edge_count
 
         removed = self._removed
         out_lists: List[Tuple[int, ...]] = []
@@ -550,7 +552,7 @@ class LiveGraph:
             in_lists.append(tuple(base_in) + tuple(self._o_in.get(v, ())))
         view.out_array = tuple(out_lists)
         view.in_array = tuple(in_lists)
-        view.tgt_idx_array = base._tgt_idx + tuple(self._o_tgt_idx)
+        view.tgt_idx_array = base._tgt_idx + array("q", self._o_tgt_idx)
 
         view.out_csr = self._csr_from_live(view, endpoint_src=True)
         view.in_csr = self._csr_from_live(view, endpoint_src=False)
@@ -629,12 +631,12 @@ class LiveGraph:
         return self._materialized().in_label_tuples
 
     @property
-    def src_array(self) -> Tuple[int, ...]:
+    def src_array(self) -> Sequence[int]:
         """Edge-id-indexed sources (tombstone slots included)."""
         return self._materialized().src_array
 
     @property
-    def tgt_array(self) -> Tuple[int, ...]:
+    def tgt_array(self) -> Sequence[int]:
         """Edge-id-indexed targets (tombstone slots included)."""
         return self._materialized().tgt_array
 
@@ -654,12 +656,12 @@ class LiveGraph:
         return self._materialized().in_array
 
     @property
-    def tgt_idx_array(self) -> Tuple[int, ...]:
+    def tgt_idx_array(self) -> Sequence[int]:
         """Edge-id-indexed TgtIdx values."""
         return self._materialized().tgt_idx_array
 
     @property
-    def cost_array(self) -> Tuple[int, ...]:
+    def cost_array(self) -> Sequence[int]:
         """Edge-id-indexed costs (unit costs when none were given)."""
         return self._materialized().cost_array
 

@@ -1,0 +1,121 @@
+"""Blocking JSONL TCP client for the serving tier.
+
+The wire protocol is the existing :mod:`repro.service` JSONL model:
+one JSON object per line in, one JSON object per line out, responses
+in request order.  :class:`ServeClient` is deliberately simple — a
+socket, a buffered reader and ``json`` — so benchmarks and smoke
+tests measure the server, not a client framework, and so any language
+with sockets + JSON could replicate it.
+
+>>> with ServeClient("127.0.0.1", port) as client:          # doctest: +SKIP
+...     resp = client.query("h* s (h | s)*", "Alix", "Bob")
+...     resp["status"], resp["lam"]
+('ok', 3)
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Dict, Iterable, List, Optional
+
+
+class ServeClient:
+    """One JSONL connection to a :class:`repro.serve.ServeServer`."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        timeout_s: Optional[float] = 30.0,
+        connect_retries: int = 20,
+        retry_delay_s: float = 0.1,
+    ) -> None:
+        last: Optional[Exception] = None
+        for _ in range(max(1, connect_retries)):
+            try:
+                self._sock = socket.create_connection(
+                    (host, port), timeout=timeout_s
+                )
+                break
+            except OSError as exc:
+                last = exc
+                import time
+
+                time.sleep(retry_delay_s)
+        else:
+            raise ConnectionError(
+                f"could not connect to {host}:{port}: {last}"
+            ) from last
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._file = self._sock.makefile("rwb")
+
+    # -- raw protocol ------------------------------------------------------
+
+    def send(self, payload: Dict[str, Any]) -> None:
+        """Write one request line without waiting for its response."""
+        self._file.write(json.dumps(payload).encode() + b"\n")
+
+    def flush(self) -> None:
+        """Push buffered request lines to the server without reading."""
+        self._file.flush()
+
+    def recv(self) -> Dict[str, Any]:
+        """Read the next response line (responses arrive in order)."""
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return json.loads(line)
+
+    def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """One round trip."""
+        self.send(payload)
+        return self.recv()
+
+    def pipeline(
+        self, payloads: Iterable[Dict[str, Any]]
+    ) -> List[Dict[str, Any]]:
+        """Send every request, then collect the responses in order.
+
+        Mutation lines act as write barriers server-side, so a mixed
+        pipeline has the same semantics as
+        :meth:`QueryService.execute_batch`.
+        """
+        n = 0
+        for payload in payloads:
+            self.send(payload)
+            n += 1
+        return [self.recv() for _ in range(n)]
+
+    # -- sugar -------------------------------------------------------------
+
+    def query(
+        self,
+        query: str,
+        source,
+        target,
+        **fields: Any,
+    ) -> Dict[str, Any]:
+        """Run one pair query (extra JSONL fields pass through)."""
+        return self.request(
+            {"query": query, "source": source, "target": target, **fields}
+        )
+
+    def mutate(
+        self, ops: List[Dict[str, Any]], **fields: Any
+    ) -> Dict[str, Any]:
+        """Apply one mutation batch through the owner process."""
+        return self.request({"mutate": ops, **fields})
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -300,6 +300,12 @@ class QueryResponse:
     #: only when a timeout interrupted the skip phase).
     skipped: int = 0
     error: Optional[str] = None
+    #: Machine-readable error category so callers can branch without
+    #: parsing the message: ``"internal"`` for the in-process
+    #: backstop, ``"worker_crashed"`` / ``"worker_timeout"`` /
+    #: ``"not_owner"`` from the :mod:`repro.serve` tier; ``None`` for
+    #: ordinary client-input errors.
+    code: Optional[str] = None
     cached: Dict[str, bool] = field(default_factory=dict)
     timings: Dict[str, float] = field(default_factory=dict)
     id: Optional[Any] = None
@@ -320,6 +326,8 @@ class QueryResponse:
             out["skipped"] = self.skipped
         if self.error is not None:
             out["error"] = self.error
+        if self.code is not None:
+            out["code"] = self.code
         if self.cached:
             out["cached"] = self.cached
         if self.timings:

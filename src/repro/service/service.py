@@ -208,10 +208,14 @@ class QueryService:
             )
         except Exception as exc:  # noqa: BLE001 — serving-layer backstop:
             # one request must never take down the batch or leak a raw
-            # traceback through the executor.
+            # traceback through the executor.  code="internal" keeps
+            # the in-process service and the repro.serve tier (whose
+            # equivalent category is "worker_crashed") uniform for
+            # callers that branch on the error category.
             response = QueryResponse(
                 status="error",
                 error=f"internal error: {type(exc).__name__}: {exc}",
+                code="internal",
                 id=request.id,
             )
         response.timings["total"] = time.perf_counter() - started
@@ -265,6 +269,7 @@ class QueryService:
             response = MutationResponse(
                 status="error",
                 error=f"internal error: {type(exc).__name__}: {exc}",
+                code="internal",
                 id=request.id,
             )
         response.timings["total"] = time.perf_counter() - started

@@ -126,7 +126,7 @@ class TestEdges:
     def test_default_costs_are_unit(self, tiny):
         assert not tiny.has_costs
         assert all(tiny.cost(e) == 1 for e in tiny.edges())
-        assert tiny.cost_array == (1, 1, 1, 1)
+        assert list(tiny.cost_array) == [1, 1, 1, 1]
 
     def test_edge_str(self, tiny):
         text = tiny.edge_str(0)

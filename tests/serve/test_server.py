@@ -1,0 +1,345 @@
+"""End-to-end tests of the asyncio serving tier (real worker processes).
+
+Each test boots a real :class:`~repro.serve.ServeServer` — forked
+workers mapping a real shared-memory segment — inside ``asyncio.run``,
+and always drains it, so a passing run leaves ``/dev/shm`` clean.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+
+import pytest
+
+from repro.graph.builder import GraphBuilder
+from repro.serve.server import ServeServer
+
+
+def _demo_graph():
+    builder = GraphBuilder()
+    builder.add_edge("Alix", "Dan", ["h", "s"])
+    builder.add_edge("Dan", "Eve", ["h"])
+    builder.add_edge("Eve", "Bob", ["s"])
+    builder.add_edge("Alix", "Bob", ["t"])
+    return builder.build()
+
+
+def _shm_entries(base: str):
+    root = "/dev/shm"
+    if not os.path.isdir(root):  # pragma: no cover - non-Linux
+        return []
+    return [f for f in os.listdir(root) if f.startswith(base)]
+
+
+async def _booted(**kwargs) -> ServeServer:
+    server = ServeServer(_demo_graph(), **kwargs)
+    await server.start()
+    return server
+
+
+async def _tcp_exchange(port: int, lines):
+    """Send every request line, then read that many responses in order."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        for line in lines:
+            writer.write(json.dumps(line).encode() + b"\n")
+        await writer.drain()
+        out = []
+        for _ in range(len(lines)):
+            raw = await asyncio.wait_for(reader.readline(), timeout=30)
+            assert raw, "server closed mid-batch"
+            out.append(json.loads(raw))
+        return out
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+def test_tcp_mixed_batch_in_order_with_read_your_writes() -> None:
+    async def scenario():
+        server = await _booted(workers=2)
+        base = server._segment_base
+        try:
+            port = await server.start_tcp()
+            responses = await _tcp_exchange(
+                port,
+                [
+                    {"query": "h* s (h | s)*", "source": "Alix",
+                     "target": "Bob", "id": 1},
+                    {"query": "h", "source": "Bob", "target": "Alix",
+                     "id": 2},  # edge does not exist yet
+                    {"mutate": [{"op": "add_edge", "src": "Bob",
+                                 "tgt": "Alix", "labels": ["h"]}], "id": 3},
+                    {"query": "h", "source": "Bob", "target": "Alix",
+                     "id": 4},  # barrier: must see the new edge
+                    {"query": "h", "source": "missing", "target": "Bob",
+                     "id": 5},
+                ],
+            )
+            assert [r.get("id") for r in responses] == [1, 2, 3, 4, 5]
+            assert responses[0]["status"] == "ok"
+            assert responses[0]["lam"] == 3
+            assert responses[1]["status"] == "empty"  # pre-mutation
+            assert responses[2]["status"] == "ok"
+            assert responses[2]["result"]["serve_epoch"] == 1
+            assert responses[3]["status"] == "ok"  # read-your-writes
+            assert responses[3]["lam"] == 1
+            assert responses[4]["status"] == "error"
+            assert "missing" in responses[4]["error"]
+            assert server.epoch == 1
+        finally:
+            await server.shutdown()
+        assert _shm_entries(base) == []
+
+    asyncio.run(scenario())
+
+
+def test_bad_json_line_answers_in_order() -> None:
+    async def scenario():
+        server = await _booted(workers=1)
+        try:
+            port = await server.start_tcp()
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            try:
+                writer.write(b'{"query": "h", "source": "Alix"')  # truncated
+                writer.write(b"\n")
+                writer.write(
+                    json.dumps(
+                        {"query": "h h s", "source": "Alix", "target": "Bob"}
+                    ).encode()
+                    + b"\n"
+                )
+                await writer.drain()
+                first = json.loads(await reader.readline())
+                second = json.loads(await reader.readline())
+                assert first["status"] == "error"
+                assert "bad JSON" in first["error"]
+                assert second["status"] == "ok"
+            finally:
+                writer.close()
+        finally:
+            await server.shutdown()
+
+    asyncio.run(scenario())
+
+
+def test_worker_kill_every_inflight_request_answered() -> None:
+    """SIGKILL a worker mid-stream: each request is still answered,
+    either retried to "ok" on the respawned pool or failed with the
+    structured ``code="worker_crashed"`` — never hung, never dropped."""
+
+    async def scenario():
+        server = await _booted(workers=2, max_inflight=16)
+        try:
+            payload = {"query": "h* s (h | s)*", "source": "Alix",
+                       "target": "Bob"}
+            tasks = [
+                asyncio.create_task(server.dispatch_query(dict(payload)))
+                for _ in range(12)
+            ]
+            os.kill(server.worker_pids()[0], signal.SIGKILL)
+            responses = await asyncio.wait_for(asyncio.gather(*tasks), 60)
+            assert len(responses) == 12
+            for response in responses:
+                assert response["status"] in ("ok", "error")
+                if response["status"] == "error":
+                    assert response["code"] == "worker_crashed"
+            # The pool healed: the slot was respawned and still serves.
+            after = await asyncio.wait_for(
+                server.dispatch_query(dict(payload)), 30
+            )
+            assert after["status"] == "ok"
+            assert after["lam"] == 3
+            stats = server.stats()
+            assert stats["respawns"] >= 1
+            assert stats["workers"] == 2
+            assert None not in server.worker_pids()
+        finally:
+            await server.shutdown()
+
+    asyncio.run(scenario())
+
+
+def test_unresponsive_worker_hits_hard_watchdog() -> None:
+    """A SIGSTOP'd worker past timeout_ms + grace is killed and the
+    request answered ``code="worker_timeout"``; the slot respawns."""
+
+    async def scenario():
+        server = await _booted(workers=1, timeout_grace_s=0.3)
+        try:
+            os.kill(server.worker_pids()[0], signal.SIGSTOP)
+            response = await asyncio.wait_for(
+                server.dispatch_query(
+                    {"query": "h", "source": "Alix", "target": "Dan",
+                     "timeout_ms": 50}
+                ),
+                30,
+            )
+            assert response["status"] == "error"
+            assert response["code"] == "worker_timeout"
+            # Respawn happens via the reader-EOF path; wait for it,
+            # then the pool serves again.
+            for _ in range(100):
+                if server.stats()["respawns"] >= 1:
+                    break
+                await asyncio.sleep(0.05)
+            after = await asyncio.wait_for(
+                server.dispatch_query(
+                    {"query": "h", "source": "Alix", "target": "Dan"}
+                ),
+                30,
+            )
+            assert after["status"] == "ok"
+        finally:
+            await server.shutdown()
+
+    asyncio.run(scenario())
+
+
+def test_affinity_routing_pins_query_source_pairs() -> None:
+    async def scenario():
+        server = await _booted(workers=4, routing="affinity")
+        try:
+            a = {"query": "h", "source": "Alix", "target": "Dan"}
+            b = {"query": "h", "source": "Dan", "target": "Eve"}
+            picks_a = {server._pick(a).index for _ in range(8)}
+            picks_b = {server._pick(b).index for _ in range(8)}
+            assert len(picks_a) == 1  # same pair → same worker, always
+            assert len(picks_b) == 1
+        finally:
+            await server.shutdown()
+
+    asyncio.run(scenario())
+
+
+def test_round_robin_spreads_across_workers() -> None:
+    async def scenario():
+        server = await _booted(workers=3)
+        try:
+            payload = {"query": "h", "source": "Alix", "target": "Dan"}
+            picks = [server._pick(payload).index for _ in range(6)]
+            assert set(picks) == {0, 1, 2}
+        finally:
+            await server.shutdown()
+
+    asyncio.run(scenario())
+
+
+def test_invalid_mutation_is_structured_and_graph_survives() -> None:
+    async def scenario():
+        server = await _booted(workers=1)
+        try:
+            port = await server.start_tcp()
+            responses = await _tcp_exchange(
+                port,
+                [
+                    {"mutate": [{"op": "add_edge", "src": "Alix"}], "id": 1},
+                    {"query": "h", "source": "Alix", "target": "Dan",
+                     "id": 2},
+                ],
+            )
+            assert responses[0]["status"] == "error"
+            assert responses[0]["code"] == "invalid_delta"
+            assert responses[1]["status"] == "ok"  # batch survived
+            assert server.epoch == 0  # nothing was published
+        finally:
+            await server.shutdown()
+
+    asyncio.run(scenario())
+
+
+def test_constructor_validation() -> None:
+    with pytest.raises(ValueError, match="at least one worker"):
+        ServeServer(_demo_graph(), workers=0)
+    with pytest.raises(ValueError, match="routing"):
+        ServeServer(_demo_graph(), routing="random")
+    with pytest.raises(TypeError):
+        ServeServer({"not": "a graph"})
+
+
+def test_shutdown_is_clean_without_tcp() -> None:
+    async def scenario():
+        server = await _booted(workers=2)
+        base = server._segment_base
+        pids = server.worker_pids()
+        await server.shutdown()
+        assert _shm_entries(base) == []
+        for pid in pids:
+            with pytest.raises(OSError):
+                os.kill(pid, 0)  # every worker actually exited
+
+    asyncio.run(scenario())
+
+
+def test_stdio_serves_with_file_redirects(tmp_path) -> None:
+    """``--stdio`` with BOTH ends redirected to regular files.
+
+    ``connect_read_pipe``/``connect_write_pipe`` reject regular files,
+    so this shape (``repro serve --stdio < in.jsonl > out.jsonl``)
+    exercises the thread-pool fallback reader/writer.  A pipelined
+    query → mutation → read-your-writes batch must come back in order,
+    the process must exit 0 on stdin EOF, and no segment may leak.
+    """
+    import subprocess
+    import sys
+    import time
+
+    graph_path = tmp_path / "graph.txt"
+    graph_path.write_text(
+        "Alix -> Dan : h, s\nDan -> Eve : h\nEve -> Bob : s\n"
+    )
+    in_path = tmp_path / "in.jsonl"
+    in_path.write_text(
+        "\n".join(
+            json.dumps(line)
+            for line in [
+                {"query": "h h s", "source": "Alix", "target": "Bob",
+                 "id": 1},
+                {"mutate": [{"op": "add_edge", "src": "Bob",
+                             "tgt": "Alix", "labels": ["h"]}], "id": 2},
+                {"query": "h", "source": "Bob", "target": "Alix",
+                 "id": 3},
+            ]
+        )
+        + "\n"
+    )
+    out_path = tmp_path / "out.jsonl"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src" + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    with open(in_path, "rb") as stdin, open(out_path, "wb") as stdout:
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", str(graph_path),
+             "--stdio", "--workers", "2"],
+            stdin=stdin, stdout=stdout, stderr=subprocess.DEVNULL,
+            env=env,
+        )
+        try:
+            assert proc.wait(timeout=60) == 0
+        finally:
+            if proc.poll() is None:  # pragma: no cover - failure path
+                proc.kill()
+                proc.wait(timeout=10)
+    responses = [
+        json.loads(line)
+        for line in out_path.read_text().splitlines() if line
+    ]
+    assert [r["id"] for r in responses] == [1, 2, 3]
+    assert responses[0]["status"] == "ok" and responses[0]["lam"] == 3
+    assert responses[1]["result"]["serve_epoch"] == 1
+    assert responses[2]["status"] == "ok" and responses[2]["lam"] == 1
+    if os.path.isdir("/dev/shm"):
+        for _ in range(50):  # unlink races process exit briefly
+            litter = [n for n in os.listdir("/dev/shm")
+                      if n.startswith(f"repro-{proc.pid:x}-")]
+            if not litter:
+                break
+            time.sleep(0.1)
+        assert litter == []

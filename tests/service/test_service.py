@@ -8,6 +8,7 @@ import pytest
 from repro.core.engine import DistinctShortestWalks
 from repro.graph.builder import GraphBuilder
 from repro.service import (
+    MutationRequest,
     QueryRequest,
     QueryService,
     RequestError,
@@ -433,3 +434,47 @@ class TestRequestParsing:
         ):
             with pytest.raises(RequestError):
                 QueryRequest.from_dict(payload)
+
+
+class TestInternalErrorCode:
+    """Unexpected exceptions surface as structured code="internal"."""
+
+    def test_query_backstop_sets_internal_code(self, service, monkeypatch):
+        def boom(request):
+            raise RuntimeError("engine exploded")
+
+        monkeypatch.setattr(service, "_execute_checked", boom)
+        response = service.execute(
+            QueryRequest.from_dict(
+                {"query": "h", "source": "Alix", "target": "Dan", "id": 4}
+            )
+        )
+        assert response.status == "error"
+        assert response.code == "internal"
+        assert "engine exploded" in response.error
+        assert response.id == 4
+        assert response.to_dict()["code"] == "internal"
+
+    def test_mutation_backstop_sets_internal_code(self, service, monkeypatch):
+        def boom(*args, **kwargs):
+            raise RuntimeError("owner exploded")
+
+        monkeypatch.setattr(service._db, "mutate", boom)
+        response = service.execute(
+            MutationRequest.from_dict(
+                {"mutate": [{"op": "add_vertex", "name": "Z"}],
+                 "graph": "fraud"}
+            )
+        )
+        assert response.status == "error"
+        assert response.code == "internal"
+        assert "owner exploded" in response.error
+
+    def test_expected_errors_carry_no_internal_code(self, service):
+        response = service.execute(
+            QueryRequest.from_dict(
+                {"query": "h", "source": "ghost", "target": "Dan"}
+            )
+        )
+        assert response.status == "error"
+        assert response.code is None
