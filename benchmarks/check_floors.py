@@ -4,13 +4,14 @@ Each tracked benchmark suite commits a JSON record at the repo root
 (``BENCH_annotate.json`` — EXP-ADJ, ``BENCH_service.json`` —
 EXP-SERVICE, ``BENCH_mutations.json`` — EXP-LIVE,
 ``BENCH_pipeline.json`` — EXP-PIPE, ``BENCH_wal.json`` — EXP-WAL,
-``BENCH_semantics.json`` — EXP-SEM, ``BENCH_serve.json`` — EXP-CONC)
-whose ``speedup_target`` field is the suite's acceptance floor (ADJ
-≥3×, SERVICE ≥2×, LIVE ≥5×, PIPE ≥2×, WAL ≥0.5× — i.e. group-commit
-durability within 2× of no WAL — SEM ≥1.5× — any-walk beats the full
-shortest pipeline — and CONC ≥2× — the multi-process serving tier
-beats the single-process service at 4 workers; PIPE additionally
-carries ``memory_target`` ≥2×).
+``BENCH_semantics.json`` — EXP-SEM, ``BENCH_serve.json`` — EXP-CONC,
+``BENCH_obs.json`` — EXP-OBS) whose ``speedup_target`` field is the
+suite's acceptance floor (ADJ ≥3×, SERVICE ≥2×, LIVE ≥5×, PIPE ≥2×,
+WAL ≥0.5× — i.e. group-commit durability within 2× of no WAL — SEM
+≥1.5× — any-walk beats the full shortest pipeline — CONC ≥2× — the
+multi-process serving tier beats the single-process service at 4
+workers — and OBS ≥0.95× — full instrumentation within 5% of
+disabled; PIPE additionally carries ``memory_target`` ≥2×).
 
 This script compares a **fresh re-run** of those suites (their
 ``BENCH_*_JSON`` env hooks pointed at ``--fresh-dir``) against the
@@ -50,6 +51,7 @@ TRACKED = {
     "BENCH_wal.json": "EXP-WAL",
     "BENCH_semantics.json": "EXP-SEM",
     "BENCH_serve.json": "EXP-CONC",
+    "BENCH_obs.json": "EXP-OBS",
 }
 
 

@@ -68,6 +68,8 @@ from repro.exceptions import QueryError
 from repro.graph.database import Graph
 from repro.live.delta import Delta, MutationBatch, ops_from_dicts
 from repro.live.live_graph import LiveGraph, query_label_footprint
+from repro.obs import Observability, Trace
+from repro.obs import trace as obs_trace
 from repro.query.plan import QueryPlan, analyze
 from repro.query.rpq import RPQ
 from repro.service.cache import LRUCache
@@ -192,11 +194,27 @@ class Database:
         annotation_cache_size: int = 128,
         default_mode: str = "memoryless",
         warm: bool = True,
+        obs: Optional["Observability"] = None,
     ) -> None:
         if default_mode not in _CONCRETE_MODES:
             raise QueryError(
                 f"default_mode must be a concrete engine mode, "
                 f"got {default_mode!r}"
+            )
+        #: Observability bundle.  ``None`` (the default for direct
+        #: façade use) means fully off: no registry writes, no trace
+        #: activation — the uninstrumented baseline bench_obs measures.
+        self._obs = obs
+        self._metrics = (
+            obs.registry if (obs is not None and obs.enabled) else None
+        )
+        if self._metrics is not None:
+            self._metrics.register_collector(self._cache_collector)
+            self._c_evicted_plans = self._metrics.counter(
+                "cache.plan_cache.footprint_evictions"
+            )
+            self._c_evicted_annotations = self._metrics.counter(
+                "cache.annotation_cache.footprint_evictions"
             )
         self._graphs: Dict[str, _GraphHandle] = {}
         self._graphs_lock = threading.Lock()
@@ -295,6 +313,10 @@ class Database:
                     lambda batch: self._on_mutation(handle, batch),
                     front=True,
                 )
+                if self._metrics is not None:
+                    # Idempotent across compaction re-registration of
+                    # the same LiveGraph object.
+                    graph.attach_metrics(self._metrics)
         if stale_writer is not None:
             if isinstance(old.graph, LiveGraph):
                 old.graph.detach_wal()
@@ -401,6 +423,7 @@ class Database:
             group_window_ms=group_window_ms,
             start_lsn=start_lsn,
             start_offset=start_offset,
+            metrics=self._metrics,
         )
         live.attach_wal(writer)
         version = self.register(name, live, warm=warm)
@@ -548,6 +571,11 @@ class Database:
             annotation_affected
         )
         handle.last_evictions = (plans, annotations)
+        if self._metrics is not None:
+            if plans:
+                self._c_evicted_plans.inc(plans)
+            if annotations:
+                self._c_evicted_annotations.inc(annotations)
 
     # -- incremental mutation (repro.live) -----------------------------------
 
@@ -767,12 +795,14 @@ class Database:
             nonlocal hit
             hit = False
             t0 = time.perf_counter()
-            rpq_obj = (
-                prebuilt
-                if prebuilt is not None
-                else RPQ(expression, method=construction)
-            )
-            cq = compile_query(handle.graph, rpq_obj.automaton)
+            with obs_trace.span("parse", construction=construction):
+                rpq_obj = (
+                    prebuilt
+                    if prebuilt is not None
+                    else RPQ(expression, method=construction)
+                )
+            with obs_trace.span("compile"):
+                cq = compile_query(handle.graph, rpq_obj.automaton)
             build_s = time.perf_counter() - t0
             with self._build_lock:
                 self._plan_build_s += build_s
@@ -872,6 +902,27 @@ class Database:
             },
         }
 
+    def _cache_collector(self) -> Dict[str, Dict[str, float]]:
+        """Pull-style metrics export of both caches (hit/miss/eviction).
+
+        Registered with the metrics registry at construction; the LRU
+        caches keep their own counters, so exporting on snapshot
+        avoids double-writing every cache touch.
+        """
+        counters: Dict[str, float] = {}
+        gauges: Dict[str, float] = {}
+        for label, cache in (
+            ("plan_cache", self._plan_cache),
+            ("annotation_cache", self._annotation_cache),
+        ):
+            stats = cache.stats.as_dict()
+            counters[f"cache.{label}.hits"] = stats["hits"]
+            counters[f"cache.{label}.misses"] = stats["misses"]
+            counters[f"cache.{label}.evictions"] = stats["evictions"]
+            gauges[f"cache.{label}.entries"] = len(cache)
+            gauges[f"cache.{label}.capacity"] = cache.capacity
+        return {"counters": counters, "gauges": gauges}
+
     def build_seconds(self) -> Tuple[float, float]:
         """Cumulative (plan, annotation) cache-miss build time."""
         with self._build_lock:
@@ -910,7 +961,21 @@ class Database:
             else None
         )
         handle = self._handle(q._graph_name)
-        rows, lam, stats = self._prepare(q, handle)
+        if self._metrics is not None:
+            # One trace per request: preprocessing spans (parse,
+            # compile, annotate, trim) open against the contextvar
+            # inside _prepare; the enumerate span is attached post hoc
+            # by ResultSet when pagination finishes (enumeration is
+            # lazy, so it happens after this frame returns).
+            trace = Trace()
+            token = obs_trace.activate(trace)
+            try:
+                rows, lam, stats = self._prepare(q, handle)
+            finally:
+                obs_trace.deactivate(token)
+            stats["trace"] = trace
+        else:
+            rows, lam, stats = self._prepare(q, handle)
         return ResultSet(
             rows,
             lam=lam,
@@ -1051,6 +1116,12 @@ class Database:
             # single-flight wait time when another thread is building.
             timings["annotate"] = time.perf_counter() - t0
             cached["annotation"] = ann_hit
+            if ann_hit:
+                # The real annotate/trim spans were traced on the
+                # building thread; a hit still shows the phase, tagged.
+                obs_trace.add_span(
+                    "annotate", timings["annotate"], cached=True
+                )
             lam, states = mt.annotation.target_info(target_id)
             if lam is None:
                 return iter(()), None
@@ -1130,6 +1201,10 @@ class Database:
                 _check_cursor_edges(graph, cursor.edges, tid)
             hit = any_walk_search(cq, sid, (tid,)).get(tid)
             timings["annotate"] = time.perf_counter() - t0
+            obs_trace.add_span(
+                "annotate", timings["annotate"],
+                semantics="any", cached=False,
+            )
             if hit is None:
                 return iter(()), None
             lam, edges = hit
@@ -1199,6 +1274,9 @@ class Database:
                             (s_id, t, h[t][0], h[t][1]) for t in sorted(h)
                         )
         timings["annotate"] = time.perf_counter() - t0
+        obs_trace.add_span(
+            "annotate", timings["annotate"], semantics="any", cached=False
+        )
 
         cursor_sid = cursor_tid = None
         if cursor is not None:
@@ -1277,11 +1355,12 @@ class Database:
                 handle, q._construction, q._expression, plan,
                 source_input, source_id, cheapest, restriction,
             )
-            timings["annotate"] = (
-                timings.get("annotate", 0.0) + time.perf_counter() - t0
-            )
+            dt = time.perf_counter() - t0
+            timings["annotate"] = timings.get("annotate", 0.0) + dt
             if not hit:
                 cached["annotation"] = False
+            else:
+                obs_trace.add_span("annotate", dt, cached=True)
             return mt
 
         def bucket(source_input, source_id, mt, target_id) -> Optional[_Bucket]:

@@ -111,6 +111,14 @@ class ResultSet:
             close = getattr(rows, "close", None)
             if close is not None:
                 close()
+            trace = self.stats.get("trace")
+            if trace is not None:
+                # Enumeration is lazy (it ran after the executor's
+                # trace deactivated), so the span attaches post hoc
+                # from the accrued timing when the page finishes.
+                trace.add_span(
+                    "enumerate", timings.get("enumerate", 0.0)
+                )
 
     # -- conveniences --------------------------------------------------------
 

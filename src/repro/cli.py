@@ -9,12 +9,13 @@ Usage (also available as ``python -m repro``)::
     python -m repro count   GRAPH "h* s (h | s)*" Alix Bob
     python -m repro plan    GRAPH "(a | b)* c"
     python -m repro stats   GRAPH
+    python -m repro stats   --port 7687
     python -m repro batch   GRAPH requests.jsonl --workers 4 --stats
     python -m repro mutate  GRAPH ops.jsonl --save updated.json
     python -m repro mutate  GRAPH ops.jsonl --wal-dir wal/
     python -m repro recover wal/ --save recovered.json
     python -m repro follow  wal/ --once --query "h+" --source Alix --target Bob
-    python -m repro serve   GRAPH --port 7687 --workers 4
+    python -m repro serve   GRAPH --port 7687 --workers 4 --metrics 9090
 
 ``GRAPH`` is a path to either a JSON database (``save_json``) or the
 line-based edge-list format::
@@ -395,6 +396,7 @@ def _cmd_follow(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Boot the multi-process serving tier on a graph file."""
     import asyncio
+    import json
 
     from repro.serve import serve
 
@@ -411,6 +413,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 file=sys.stderr,
                 flush=True,
             )
+            if server.metrics_port is not None:
+                print(
+                    f"metrics on {args.host}:{server.metrics_port}",
+                    file=sys.stderr,
+                    flush=True,
+                )
+
+    def on_final_stats(stats) -> None:
+        # The drain-path snapshot: short-lived (smoke) runs still get
+        # their counters, on stderr so stdout stays pure protocol.
+        merged = stats.get("merged", {})
+        summary = {
+            "final_stats": {
+                "server": stats.get("server", {}),
+                "partial": stats.get("partial", False),
+                "service": merged.get("service", {}),
+            }
+        }
+        print(json.dumps(summary, sort_keys=True), file=sys.stderr, flush=True)
 
     try:
         asyncio.run(
@@ -419,13 +440,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 host=args.host,
                 port=args.port,
                 stdio=args.stdio,
+                metrics_port=args.metrics,
                 on_ready=on_ready,
+                on_final_stats=on_final_stats,
                 workers=args.workers,
                 max_inflight=args.max_inflight,
                 routing=args.routing,
                 plan_cache_size=args.plan_cache,
                 annotation_cache_size=args.annotation_cache,
                 default_mode=args.mode,
+                slow_ms=args.slow_ms,
             )
         )
     except KeyboardInterrupt:  # pragma: no cover - interactive ^C
@@ -441,6 +465,23 @@ def _cmd_plan(args: argparse.Namespace) -> int:
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
+    if args.port is not None:
+        # Remote mode: ask a running `repro serve` pool for its
+        # cross-worker aggregation over the JSONL protocol.
+        import json
+
+        from repro.serve import ServeClient
+
+        with ServeClient(args.host, args.port) as client:
+            response = client.stats()
+        print(json.dumps(response, indent=2, sort_keys=True))
+        return 0 if response.get("status") == "ok" else 1
+    if args.graph is None:
+        print(
+            "error: either GRAPH or --port is required",
+            file=sys.stderr,
+        )
+        return 2
     graph = _load_graph(args.graph)
     for key, value in graph.stats().items():
         print(f"{key}: {value}")
@@ -736,6 +777,22 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="serve one JSONL connection over stdin/stdout instead of TCP",
     )
+    serve_p.add_argument(
+        "--metrics",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="also expose Prometheus-style text metrics on this port "
+        "(0 = pick a free port, printed on stderr)",
+    )
+    serve_p.add_argument(
+        "--slow-ms",
+        type=float,
+        default=0.0,
+        metavar="MS",
+        help="worker slow-query log threshold in milliseconds "
+        "(default: 0 = record every request's span tree)",
+    )
     serve_p.set_defaults(func=_cmd_serve)
 
     plan = sub.add_parser("plan", help="explain the chosen algorithm")
@@ -748,8 +805,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     plan.set_defaults(func=_cmd_plan)
 
-    stats = sub.add_parser("stats", help="print database statistics")
-    stats.add_argument("graph")
+    stats = sub.add_parser(
+        "stats",
+        help="print database statistics, or query a running server's "
+        "observability aggregation with --port",
+    )
+    stats.add_argument(
+        "graph", nargs="?", default=None, help="graph file (local mode)"
+    )
+    stats.add_argument(
+        "--host", default="127.0.0.1", help="serve-pool host (remote mode)"
+    )
+    stats.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="serve-pool port: fetch the cross-worker stats aggregation "
+        "from a running `repro serve` instead of reading a graph file",
+    )
     stats.set_defaults(func=_cmd_stats)
 
     return parser

@@ -41,6 +41,7 @@ from repro.core.trim import (
 from repro.core.walks import Walk
 from repro.exceptions import QueryError
 from repro.graph.database import Graph
+from repro.obs.trace import add_span
 
 _MODES = ("iterative", "recursive", "memoryless", "auto")
 
@@ -157,6 +158,13 @@ class DistinctShortestWalks:
                 "total": t4 - started,
             }
         )
+        # Phase spans from the timings already measured (no-ops with
+        # no active trace); an injected plan was compiled — and traced
+        # — by its builder, so no compile span here in that case.
+        if self._compiled is None:
+            add_span("compile", t1 - t0)
+        add_span("annotate", t2 - t1, cached=False)
+        add_span("trim", t3 - t2)
         return self
 
     # -- inspection ------------------------------------------------------------

@@ -41,6 +41,7 @@ from repro.core.trim import (
 from repro.core.walks import Walk
 from repro.exceptions import QueryError
 from repro.graph.database import Graph
+from repro.obs.trace import span as _span
 
 
 class MultiTargetShortestWalks:
@@ -107,10 +108,12 @@ class MultiTargetShortestWalks:
                 )
             else:
                 annotate_fn = cheapest_annotate if self.cheapest else annotate
-            self._annotation = annotate_fn(
-                self._cq, self.source, None, saturate=True
-            )
-            self._trimmed = trim(self.graph, self._annotation)
+            with _span("annotate", cached=False, saturate=True):
+                self._annotation = annotate_fn(
+                    self._cq, self.source, None, saturate=True
+                )
+            with _span("trim"):
+                self._trimmed = trim(self.graph, self._annotation)
         return self
 
     # -- structure access ----------------------------------------------------

@@ -40,6 +40,7 @@ and cursor of this graph must be dropped
 from __future__ import annotations
 
 import threading
+import time
 from array import array
 from bisect import insort
 from typing import (
@@ -130,6 +131,9 @@ class LiveGraph:
         # Duck-typed durability hook (see attach_wal); survives
         # compaction, unlike the per-epoch overlay state below.
         self._wal_hook = None
+        # Duck-typed metrics registry (see attach_metrics); also
+        # survives compaction.
+        self._metrics = None
         self._reset_overlay()
 
     def _reset_overlay(self) -> None:
@@ -766,6 +770,29 @@ class LiveGraph:
         """The attached durability hook, or ``None``."""
         return self._wal_hook
 
+    def attach_metrics(self, registry) -> None:
+        """Attach a :class:`repro.obs.MetricsRegistry` (duck-typed,
+        like :meth:`attach_wal` — this module never imports the
+        observability layer).  :meth:`apply` then maintains the
+        ``live.overlay_edges``/``live.tombstones`` gauges and mutation
+        counters, and :meth:`compact` records its duration.  One
+        registry at a time; attaching again (the database's compaction
+        re-registration path) just re-resolves the instruments.
+        """
+        with self._lock:
+            self._m_overlay_edges = registry.gauge("live.overlay_edges")
+            self._m_tombstones = registry.gauge("live.tombstones")
+            self._m_batches = registry.counter("live.mutation_batches")
+            self._m_ops = registry.counter("live.mutation_ops")
+            self._m_compactions = registry.counter("live.compactions")
+            self._m_compact_s = registry.histogram("live.compact_seconds")
+            self._metrics = registry
+
+    def detach_metrics(self) -> None:
+        """Stop exporting metrics (no-op when none attached)."""
+        with self._lock:
+            self._metrics = None
+
     @staticmethod
     def _check_vertex_name(name: Hashable) -> None:
         # JSON payloads can smuggle lists/dicts into name fields; an
@@ -955,6 +982,11 @@ class LiveGraph:
                 removed_edges=tuple(removed_edges),
                 relabeled_edges=tuple(relabeled_edges),
             )
+            if self._metrics is not None:
+                self._m_batches.inc()
+                self._m_ops.inc(len(ops))
+                self._m_overlay_edges.set(len(self._o_src))
+                self._m_tombstones.set(len(self._removed))
             subscribers = tuple(self._subscribers)
         for fn in subscribers:
             fn(batch)
@@ -1010,6 +1042,7 @@ class LiveGraph:
         ids).  Outstanding pagination *cursors* live client-side and
         cannot be notified; they must be discarded.
         """
+        t0 = time.perf_counter()
         with self._lock:  # RLock: to_graph re-enters safely.
             new_graph = self.to_graph()
             if self._wal_hook is not None:
@@ -1023,6 +1056,11 @@ class LiveGraph:
             receipt = MutationBatch(
                 epoch=self._epoch, ops=(), compaction=True
             )
+            if self._metrics is not None:
+                self._m_compactions.inc()
+                self._m_compact_s.observe(time.perf_counter() - t0)
+                self._m_overlay_edges.set(0)
+                self._m_tombstones.set(0)
             subscribers = tuple(self._subscribers)
         # Outside the lock, like apply(): subscribers run queries and
         # re-registrations that take this lock (and others) themselves.

@@ -1,0 +1,148 @@
+"""repro.obs — unified observability: metrics, tracing, slow-query log.
+
+Architecture
+============
+
+Three layers, one bundle:
+
+* :mod:`repro.obs.metrics` — a thread-safe :class:`MetricsRegistry` of
+  counters, gauges and fixed-bucket latency histograms (p50/p95/p99 by
+  bucket interpolation, no numpy).  A disabled registry hands out
+  shared null instruments whose methods are empty, so instrumented
+  code pays one no-op call per event.  Snapshots are JSON-ready dicts;
+  :func:`merge_snapshots` rolls worker snapshots up (sum counters, max
+  gauges, add histogram buckets) and :func:`render_prometheus` emits
+  the text exposition served by ``repro serve --metrics``.
+
+* :mod:`repro.obs.trace` — span-based phase tracing.  The executor
+  activates a :class:`Trace` per request in a :mod:`contextvars`
+  variable; pipeline code opens spans with the module-level
+  :func:`span` (``parse → compile → annotate → trim → enumerate``,
+  tagged ``cached=True/False``) without any handle threading.  With no
+  active trace, :func:`span` returns a shared null context manager —
+  the disabled fast path.
+
+* :mod:`repro.obs.slowlog` — a bounded ring of slow-request records
+  (span tree + explain payload); with threshold 0 it doubles as a
+  recent-requests trace buffer.
+
+:class:`Observability` bundles one registry + one slow log + the
+threshold, and is what :class:`repro.service.QueryService` (and every
+serve worker) owns.  Who instruments what:
+
+====================  ===============================================
+subsystem             instruments
+====================  ===============================================
+``service``           ``service.requests/errors/timeouts/...``
+                      counters, ``service.request_seconds`` (+
+                      enumerate/annotate) histograms, the slow log
+``api.Database``      cache hit/miss/eviction collector, per-footprint
+                      eviction counters, the per-request ``Trace``
+``wal.WalWriter``     ``wal.fsync_seconds``, ``wal.group_batch_size``,
+                      ``wal.torn_tail_truncations``
+``live.LiveGraph``    ``live.overlay_edges``/``live.tombstones``
+                      gauges, ``live.compact_seconds``,
+                      mutation/compaction counters
+``serve.ServeServer`` dispatcher collector (``serve.requests`` ...),
+                      cross-worker aggregation over the control pipe
+====================  ===============================================
+
+The serve tier answers a ``{"stats": {}}`` JSONL admin request by
+snapshotting every worker over the existing control pipe, merging, and
+labeling unreachable workers rather than blocking on them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    histogram_quantile,
+    merge_snapshots,
+    render_prometheus,
+)
+from repro.obs.slowlog import SlowLog
+from repro.obs.trace import (
+    NULL_SPAN,
+    Span,
+    Trace,
+    activate,
+    add_span,
+    current_trace,
+    deactivate,
+    span,
+)
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_COUNTER",
+    "NULL_GAUGE",
+    "NULL_HISTOGRAM",
+    "NULL_SPAN",
+    "Observability",
+    "SlowLog",
+    "Span",
+    "Trace",
+    "activate",
+    "add_span",
+    "current_trace",
+    "deactivate",
+    "histogram_quantile",
+    "merge_snapshots",
+    "render_prometheus",
+    "span",
+]
+
+
+class Observability:
+    """One registry + one slow log + the slow threshold.
+
+    ``slow_ms=0`` records *every* request into the (bounded) slow log,
+    turning it into a recent-requests trace buffer; raise it in
+    production to keep only genuinely slow span trees.
+    """
+
+    def __init__(
+        self,
+        *,
+        enabled: bool = True,
+        slow_ms: float = 0.0,
+        slowlog_capacity: int = 64,
+    ) -> None:
+        self.enabled = enabled
+        self.slow_ms = float(slow_ms)
+        self.registry = MetricsRegistry(enabled=enabled)
+        self.slowlog = SlowLog(capacity=slowlog_capacity)
+
+    @classmethod
+    def disabled(cls) -> "Observability":
+        return cls(enabled=False)
+
+    def should_log(self, total_s: float) -> bool:
+        return self.enabled and total_s * 1000.0 >= self.slow_ms
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "metrics": self.registry.snapshot(),
+            "slowlog": self.slowlog.entries(),
+        }
+
+
+def resolve(obs: Optional[Observability]) -> Observability:
+    """``None`` → a shared disabled bundle (null instruments)."""
+    return obs if obs is not None else _DISABLED
+
+
+_DISABLED = Observability.disabled()

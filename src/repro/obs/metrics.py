@@ -1,0 +1,411 @@
+"""Thread-safe metrics: counters, gauges, fixed-bucket histograms.
+
+Three instrument kinds, one registry:
+
+* :class:`Counter` — monotone float/int accumulator (``inc``);
+* :class:`Gauge` — last-write-wins level (``set``), e.g. overlay size;
+* :class:`Histogram` — fixed log-spaced latency buckets with a
+  Prometheus-compatible cumulative rendering and p50/p95/p99 readable
+  by linear interpolation inside the landing bucket — no numpy.
+
+A **disabled** registry hands out the shared ``NULL_*`` singletons
+whose methods are empty — instrumented code keeps one attribute load
+and one no-op call per event, so the disabled cost is a function call,
+not a lock.  Instrument handles are meant to be resolved once (at
+subsystem construction) and kept, not looked up per event.
+
+Snapshots are plain JSON-ready dicts so they survive the serving
+tier's pickle pipe and the JSONL wire unchanged; fleet-wide roll-up is
+:func:`merge_snapshots` (sum counters, max gauges, add histogram
+buckets) and text exposition is :func:`render_prometheus`.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+#: Default latency buckets (seconds): log-spaced 100 µs → 10 s, the
+#: range of one request phase on this engine (sub-ms warm hits up to
+#: multi-second cold saturating builds); observations past the last
+#: bound land in the +inf overflow bucket.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+class Counter:
+    """A monotone accumulator; ``inc`` accepts ints and floats."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, n: float = 1.0) -> None:
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """A level: last ``set`` wins (merge takes the max across workers)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, n: float = 1.0) -> None:
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram with interpolated quantiles.
+
+    ``bounds`` are the inclusive upper edges of the finite buckets
+    (Prometheus ``le`` semantics: an observation lands in the first
+    bucket whose bound is ≥ the value); one overflow bucket catches
+    everything past the last bound.
+    """
+
+    __slots__ = ("name", "bounds", "_counts", "_count", "_sum", "_max",
+                 "_lock")
+
+    def __init__(
+        self, name: str, bounds: Sequence[float] = DEFAULT_LATENCY_BUCKETS
+    ) -> None:
+        bounds = tuple(float(b) for b in bounds)
+        if not bounds or any(
+            b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])
+        ):
+            raise ValueError(
+                f"histogram bounds must be non-empty and strictly "
+                f"increasing, got {bounds!r}"
+            )
+        self.name = name
+        self.bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)
+        self._count = 0
+        self._sum = 0.0
+        self._max = 0.0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        idx = bisect_left(self.bounds, value)
+        with self._lock:
+            self._counts[idx] += 1
+            self._count += 1
+            self._sum += value
+            if value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def quantile(self, q: float) -> float:
+        """Interpolated q-quantile (0 < q ≤ 1); 0.0 when empty."""
+        return histogram_quantile(self.snapshot(), q)
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "buckets": list(self.bounds),
+                "counts": list(self._counts),
+                "count": self._count,
+                "sum": self._sum,
+                "max": self._max,
+            }
+
+
+class NullCounter:
+    """Shared no-op counter handed out by a disabled registry."""
+
+    __slots__ = ()
+    name = ""
+    value = 0.0
+
+    def inc(self, n: float = 1.0) -> None:
+        pass
+
+
+class NullGauge:
+    __slots__ = ()
+    name = ""
+    value = 0.0
+
+    def set(self, value: float) -> None:
+        pass
+
+    def inc(self, n: float = 1.0) -> None:
+        pass
+
+
+class NullHistogram:
+    __slots__ = ()
+    name = ""
+    count = 0
+    sum = 0.0
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def quantile(self, q: float) -> float:
+        return 0.0
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"buckets": [], "counts": [], "count": 0, "sum": 0.0,
+                "max": 0.0}
+
+
+NULL_COUNTER = NullCounter()
+NULL_GAUGE = NullGauge()
+NULL_HISTOGRAM = NullHistogram()
+
+
+class MetricsRegistry:
+    """Names → instruments, plus pull-style collectors.
+
+    ``counter``/``gauge``/``histogram`` create-or-return by name
+    (thread-safe); on a disabled registry they return the shared null
+    singletons and record nothing.  ``register_collector`` adds a
+    zero-argument callable returning ``{"counters": {...}, "gauges":
+    {...}}`` partial snapshots — how subsystems that already keep
+    their own counters (the LRU caches, the serve dispatcher) export
+    without double-counting writes.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._collectors: List[Callable[[], Dict[str, Dict[str, float]]]] = []
+
+    # -- instrument factories ------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        if not self.enabled:
+            return NULL_COUNTER
+        with self._lock:
+            inst = self._counters.get(name)
+            if inst is None:
+                inst = self._counters[name] = Counter(name)
+            return inst
+
+    def gauge(self, name: str) -> Gauge:
+        if not self.enabled:
+            return NULL_GAUGE
+        with self._lock:
+            inst = self._gauges.get(name)
+            if inst is None:
+                inst = self._gauges[name] = Gauge(name)
+            return inst
+
+    def histogram(
+        self,
+        name: str,
+        bounds: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> Histogram:
+        if not self.enabled:
+            return NULL_HISTOGRAM
+        with self._lock:
+            inst = self._histograms.get(name)
+            if inst is None:
+                inst = self._histograms[name] = Histogram(name, bounds)
+            return inst
+
+    def register_collector(
+        self, fn: Callable[[], Dict[str, Dict[str, float]]]
+    ) -> None:
+        if not self.enabled:
+            return
+        with self._lock:
+            self._collectors.append(fn)
+
+    # -- reads ---------------------------------------------------------
+
+    def counter_value(self, name: str) -> float:
+        with self._lock:
+            inst = self._counters.get(name)
+        return inst.value if inst is not None else 0.0
+
+    def histogram_sum(self, name: str) -> float:
+        with self._lock:
+            inst = self._histograms.get(name)
+        return inst.sum if inst is not None else 0.0
+
+    def snapshot(self) -> Dict[str, Any]:
+        """One JSON-ready view: counters, gauges, histograms (+quantiles).
+
+        Collector outputs are merged in (collectors win ties — they
+        export authoritative subsystem counters, e.g. cache stats).
+        """
+        with self._lock:
+            counters = {n: c.value for n, c in self._counters.items()}
+            gauges = {n: g.value for n, g in self._gauges.items()}
+            histograms = {
+                n: h.snapshot() for n, h in self._histograms.items()
+            }
+            collectors = list(self._collectors)
+        for fn in collectors:
+            try:
+                part = fn()
+            except Exception:  # noqa: BLE001 — a collector racing its
+                continue  # subsystem's teardown must not kill the snapshot
+            counters.update(part.get("counters", {}))
+            gauges.update(part.get("gauges", {}))
+        for snap in histograms.values():
+            _annotate_quantiles(snap)
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }
+
+
+def _annotate_quantiles(snap: Dict[str, Any]) -> None:
+    for label, q in (("p50", 0.5), ("p95", 0.95), ("p99", 0.99)):
+        snap[label] = round(histogram_quantile(snap, q), 6)
+
+
+def histogram_quantile(snap: Dict[str, Any], q: float) -> float:
+    """Interpolated quantile of a histogram *snapshot* dict.
+
+    Walks the cumulative counts to the landing bucket and linearly
+    interpolates between its lower and upper edges; the overflow
+    bucket interpolates up to the recorded ``max``.
+    """
+    if not 0.0 < q <= 1.0:
+        raise ValueError(f"quantile must be in (0, 1], got {q!r}")
+    total = snap.get("count", 0)
+    if not total:
+        return 0.0
+    bounds = snap["buckets"]
+    counts = snap["counts"]
+    rank = q * total
+    cumulative = 0
+    for idx, bucket_count in enumerate(counts):
+        if not bucket_count:
+            continue
+        cumulative += bucket_count
+        if cumulative >= rank:
+            lo = bounds[idx - 1] if idx > 0 else 0.0
+            hi = (
+                bounds[idx]
+                if idx < len(bounds)
+                else max(snap.get("max", 0.0), lo)
+            )
+            frac = (rank - (cumulative - bucket_count)) / bucket_count
+            return lo + (hi - lo) * frac
+    return snap.get("max", 0.0)  # pragma: no cover - counts drifted
+
+
+def merge_snapshots(
+    snaps: Sequence[Optional[Dict[str, Any]]]
+) -> Dict[str, Any]:
+    """Roll worker snapshots up into one: sum / max / bucket-add.
+
+    Counters sum (per-worker monotone totals), gauges take the max
+    (levels: the hottest worker is the story), histograms add bucket
+    counts element-wise when the bucket layouts agree (differing
+    layouts keep the first seen — a version-skew guard, not a merge
+    error).  ``None`` entries (dead workers) are skipped.
+    """
+    counters: Dict[str, float] = {}
+    gauges: Dict[str, float] = {}
+    histograms: Dict[str, Dict[str, Any]] = {}
+    for snap in snaps:
+        if not snap:
+            continue
+        for name, value in snap.get("counters", {}).items():
+            counters[name] = counters.get(name, 0) + value
+        for name, value in snap.get("gauges", {}).items():
+            gauges[name] = max(gauges.get(name, value), value)
+        for name, hist in snap.get("histograms", {}).items():
+            into = histograms.get(name)
+            if into is None:
+                histograms[name] = {
+                    "buckets": list(hist["buckets"]),
+                    "counts": list(hist["counts"]),
+                    "count": hist["count"],
+                    "sum": hist["sum"],
+                    "max": hist["max"],
+                }
+            elif into["buckets"] == hist["buckets"]:
+                into["counts"] = [
+                    a + b for a, b in zip(into["counts"], hist["counts"])
+                ]
+                into["count"] += hist["count"]
+                into["sum"] += hist["sum"]
+                into["max"] = max(into["max"], hist["max"])
+    for snap in histograms.values():
+        _annotate_quantiles(snap)
+    return {
+        "counters": counters,
+        "gauges": gauges,
+        "histograms": histograms,
+    }
+
+
+def _prom_name(name: str, prefix: str) -> str:
+    safe = "".join(
+        ch if ch.isalnum() or ch == "_" else "_" for ch in name
+    )
+    return f"{prefix}_{safe}" if prefix else safe
+
+
+def render_prometheus(
+    snapshot: Dict[str, Any], prefix: str = "repro"
+) -> str:
+    """Prometheus text exposition (format 0.0.4) of one snapshot.
+
+    Dots in metric names become underscores under a ``repro_`` prefix;
+    histograms render the cumulative ``_bucket{le=...}`` series plus
+    ``_sum``/``_count``.
+    """
+    lines: List[str] = []
+    for name in sorted(snapshot.get("counters", {})):
+        prom = _prom_name(name, prefix)
+        lines.append(f"# TYPE {prom} counter")
+        lines.append(f"{prom} {snapshot['counters'][name]:g}")
+    for name in sorted(snapshot.get("gauges", {})):
+        prom = _prom_name(name, prefix)
+        lines.append(f"# TYPE {prom} gauge")
+        lines.append(f"{prom} {snapshot['gauges'][name]:g}")
+    for name in sorted(snapshot.get("histograms", {})):
+        hist = snapshot["histograms"][name]
+        prom = _prom_name(name, prefix)
+        lines.append(f"# TYPE {prom} histogram")
+        cumulative = 0
+        for bound, bucket_count in zip(hist["buckets"], hist["counts"]):
+            cumulative += bucket_count
+            lines.append(f'{prom}_bucket{{le="{bound:g}"}} {cumulative}')
+        lines.append(f'{prom}_bucket{{le="+Inf"}} {hist["count"]}')
+        lines.append(f"{prom}_sum {hist['sum']:g}")
+        lines.append(f"{prom}_count {hist['count']}")
+    return "\n".join(lines) + "\n"

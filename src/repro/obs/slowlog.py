@@ -1,0 +1,48 @@
+"""Bounded ring buffer of slow-request records.
+
+Entries are plain JSON-ready dicts (span tree + explain payload,
+written by :class:`repro.service.QueryService`); the deque's ``maxlen``
+caps memory, so with ``slow_ms=0`` the log doubles as a
+recent-requests trace buffer — which is how the serve tier makes a
+single query's span tree retrievable through the stats request.
+
+An entry may also be a zero-argument callable returning the dict:
+rendering then happens on the (rare) read path instead of per
+request, which keeps the ``slow_ms=0`` record cost to one deque
+append on the serving hot path.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Callable, Dict, List, Union
+
+Entry = Union[Dict[str, Any], Callable[[], Dict[str, Any]]]
+
+
+class SlowLog:
+    """Thread-safe fixed-capacity record ring (oldest evicted first)."""
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity!r}")
+        self.capacity = capacity
+        self._entries: deque = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+
+    def record(self, entry: Entry) -> None:
+        with self._lock:
+            self._entries.append(entry)
+
+    def entries(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            return [e() if callable(e) else e for e in self._entries]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

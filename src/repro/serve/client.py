@@ -108,6 +108,16 @@ class ServeClient:
         """Apply one mutation batch through the owner process."""
         return self.request({"mutate": ops, **fields})
 
+    def stats(self, **fields: Any) -> Dict[str, Any]:
+        """Fetch the server's cross-worker stats aggregation.
+
+        Answers even when no graph is registered worker-side; the
+        response's ``stats`` key carries ``server`` counters, the
+        per-``workers`` snapshots (with unreachable workers labeled
+        ``status="unavailable"``) and the ``merged`` roll-up.
+        """
+        return self.request({"stats": True, **fields})
+
     def close(self) -> None:
         try:
             self._file.close()

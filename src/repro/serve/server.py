@@ -73,6 +73,7 @@ from typing import Any, Dict, List, Optional, Set
 
 from repro.exceptions import InvalidDeltaError, ReproError
 from repro.graph.database import Graph
+from repro.obs import Observability, merge_snapshots, render_prometheus
 from repro.serve import shm
 from repro.serve.worker import _error_payload, worker_main
 
@@ -129,6 +130,8 @@ class ServeServer:
         segment_base: Optional[str] = None,
         timeout_grace_s: float = 10.0,
         mp_start: str = "fork",
+        obs: Optional[Observability] = None,
+        slow_ms: float = 0.0,
     ) -> None:
         if workers < 1:
             raise ValueError("need at least one worker")
@@ -145,6 +148,15 @@ class ServeServer:
             self._live = LiveGraph(graph)
         else:
             raise TypeError(f"cannot serve a {type(graph).__name__}")
+        #: Owner-side observability: the live graph's overlay gauges
+        #: and compaction metrics land here; worker registries are
+        #: merged in on :meth:`collect_stats`.  ``slow_ms`` is
+        #: forwarded to every worker's slow-query log threshold.
+        self.obs = obs if obs is not None else Observability(slow_ms=slow_ms)
+        self.slow_ms = slow_ms
+        if self.obs.enabled:
+            self._live.attach_metrics(self.obs.registry)
+            self.obs.registry.register_collector(self._serve_collector)
         self.workers = workers
         self.max_inflight = max_inflight
         self.routing = routing
@@ -174,6 +186,21 @@ class ServeServer:
             "respawns": 0,
             "hard_timeouts": 0,
             "worker_errors": 0,
+        }
+        self._metrics_server: Optional[asyncio.AbstractServer] = None
+        #: Last pre-stop aggregation, captured by :meth:`shutdown` so a
+        #: drained pool's numbers survive the workers (the SIGTERM
+        #: snapshot short smoke runs read).
+        self.final_stats: Optional[Dict[str, Any]] = None
+
+    def _serve_collector(self) -> Dict[str, Dict[str, float]]:
+        """Export the dispatcher counters into the owner registry."""
+        return {
+            "counters": {
+                f"serve.{key}": value
+                for key, value in self._stats.items()
+            },
+            "gauges": {"serve.workers": len(self._pool)},
         }
 
     # -- lifecycle ---------------------------------------------------------
@@ -205,6 +232,7 @@ class ServeServer:
                 "plan_cache_size": self.plan_cache_size,
                 "annotation_cache_size": self.annotation_cache_size,
                 "default_mode": self.default_mode,
+                "slow_ms": self.slow_ms,
             },
             daemon=True,
         )
@@ -263,11 +291,21 @@ class ServeServer:
         self._pool[worker.index] = self._spawn(worker.index)
 
     async def shutdown(self, drain_timeout_s: float = 10.0) -> None:
-        """Graceful drain: stop accepting, finish, stop workers, unlink."""
+        """Graceful drain: stop accepting, finish, stop workers, unlink.
+
+        Before the workers stop, their observability state is
+        aggregated one last time into :attr:`final_stats` — the drain
+        snapshot that keeps short-lived (SIGTERM'd) runs from exiting
+        blind.
+        """
         self._draining = True
         if self._tcp_server is not None:
             self._tcp_server.close()
             await self._tcp_server.wait_closed()
+        if self._metrics_server is not None:
+            self._metrics_server.close()
+            await self._metrics_server.wait_closed()
+            self._metrics_server = None
         if self._conn_tasks:
             done, pending = await asyncio.wait(
                 self._conn_tasks, timeout=drain_timeout_s
@@ -276,6 +314,11 @@ class ServeServer:
                 task.cancel()
             if pending:
                 await asyncio.gather(*pending, return_exceptions=True)
+        if self._pool and self.obs.enabled:
+            try:
+                self.final_stats = await self.collect_stats(timeout_s=2.0)
+            except Exception:  # noqa: BLE001 — never block the drain.
+                pass
         for worker in self._pool:
             worker.stopped = True
             try:
@@ -496,6 +539,13 @@ class ServeServer:
                             self._mutation_after(list(prior), payload)
                         )
                         barrier = task
+                    elif isinstance(payload, dict) and "stats" in payload:
+                        # Admin request: aggregate now, no barrier —
+                        # a stats read must not wait on (or block) the
+                        # query traffic around it.
+                        task = asyncio.create_task(
+                            self._stats_request(payload)
+                        )
                     else:
                         task = asyncio.create_task(
                             self._query_after(barrier, payload)
@@ -622,6 +672,141 @@ class ServeServer:
             "segment": self.segment_name,
         }
 
+    # -- cross-worker stats aggregation -------------------------------------
+
+    async def collect_stats(self, timeout_s: float = 5.0) -> Dict[str, Any]:
+        """Snapshot every worker over the control pipe and merge.
+
+        Counters sum, histogram buckets add, gauges take the max (see
+        :func:`repro.obs.merge_snapshots`); the owner's own registry
+        (dispatcher counters, live-graph gauges) merges in last.  A
+        worker that is dead, wedged past ``timeout_s``, or crashes
+        mid-aggregation contributes a labeled ``status="unavailable"``
+        entry instead of blocking the answer — ``partial`` is then
+        true, but every reachable worker's numbers are still in.
+        """
+        sent = []
+        for worker in list(self._pool):
+            rid = self._next_rid
+            self._next_rid += 1
+            fut = self._loop.create_future()
+            worker.pending[rid] = fut
+            try:
+                worker.conn.send(("stats", rid))
+            except (BrokenPipeError, OSError):
+                worker.pending.pop(rid, None)
+                fut = None
+            sent.append((worker, rid, fut))
+
+        workers_out: List[Dict[str, Any]] = []
+        partial = False
+        for worker, rid, fut in sent:
+            entry: Dict[str, Any]
+            if fut is None:
+                entry = {"status": "unavailable", "reason": "pipe closed"}
+            else:
+                try:
+                    entry = await asyncio.wait_for(fut, timeout_s)
+                except asyncio.TimeoutError:
+                    worker.pending.pop(rid, None)
+                    entry = {"status": "unavailable", "reason": "timeout"}
+                except WorkerCrashed:
+                    entry = {"status": "unavailable", "reason": "crashed"}
+            if entry.get("status") != "ok":
+                partial = True
+            entry.setdefault("pid", worker.process.pid)
+            entry["index"] = worker.index
+            workers_out.append(entry)
+
+        snapshots = [
+            w.get("metrics")
+            for w in workers_out
+            if w.get("status") == "ok"
+        ]
+        if self.obs.enabled:
+            snapshots.append(self.obs.registry.snapshot())
+        merged_service: Dict[str, float] = {}
+        for w in workers_out:
+            if w.get("status") != "ok":
+                continue
+            for key, value in w.get("service", {}).items():
+                if isinstance(value, bool) or not isinstance(
+                    value, (int, float)
+                ):
+                    continue  # nested cache dicts stay per-worker
+                merged_service[key] = merged_service.get(key, 0) + value
+        return {
+            "server": self.stats(),
+            "workers": workers_out,
+            "merged": {
+                "metrics": merge_snapshots(snapshots),
+                "service": merged_service,
+            },
+            "partial": partial,
+        }
+
+    async def _stats_request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Answer one ``{"stats": ...}`` JSONL admin request."""
+        try:
+            stats = await self.collect_stats()
+            response: Dict[str, Any] = {"status": "ok", "stats": stats}
+        except Exception as exc:  # noqa: BLE001 — admin-path backstop.
+            response = {
+                "status": "error",
+                "error": f"internal error: {type(exc).__name__}: {exc}",
+                "code": "internal",
+            }
+        rid = payload.get("id")
+        if rid is not None:
+            response["id"] = rid
+        return response
+
+    async def start_metrics(
+        self, host: str = "127.0.0.1", port: int = 0
+    ) -> int:
+        """Start the Prometheus text-exposition listener; returns its port.
+
+        A deliberately minimal HTTP/1.1 responder: any request gets the
+        merged cross-worker metrics as ``text/plain`` (format 0.0.4)
+        and the connection closes — all a scraper needs.
+        """
+        self._metrics_server = await asyncio.start_server(
+            self._metrics_connected, host, port
+        )
+        return self._metrics_server.sockets[0].getsockname()[1]
+
+    @property
+    def metrics_port(self) -> Optional[int]:
+        """Bound port of the metrics listener, or ``None``."""
+        if self._metrics_server is None:
+            return None
+        return self._metrics_server.sockets[0].getsockname()[1]
+
+    async def _metrics_connected(self, reader, writer) -> None:
+        try:
+            while True:  # drain the request head; any path answers
+                line = await asyncio.wait_for(reader.readline(), 10.0)
+                if not line or line in (b"\r\n", b"\n"):
+                    break
+            stats = await self.collect_stats(timeout_s=2.0)
+            body = render_prometheus(stats["merged"]["metrics"]).encode()
+            writer.write(
+                b"HTTP/1.1 200 OK\r\n"
+                b"Content-Type: text/plain; version=0.0.4; "
+                b"charset=utf-8\r\n"
+                b"Content-Length: " + str(len(body)).encode() + b"\r\n"
+                b"Connection: close\r\n\r\n" + body
+            )
+            await writer.drain()
+        except (asyncio.TimeoutError, ConnectionError, OSError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
 
 async def _completed(response: Dict[str, Any]) -> Dict[str, Any]:
     return response
@@ -681,6 +866,8 @@ async def serve(
     host: str = "127.0.0.1",
     port: int = 0,
     stdio: bool = False,
+    metrics_port: Optional[int] = None,
+    on_final_stats=None,
     on_ready=None,
     **server_kwargs,
 ) -> None:
@@ -688,12 +875,18 @@ async def serve(
 
     ``on_ready(server, port)`` fires after the listener is up (port is
     ``None`` in stdio mode).  The CLI uses it to print the endpoint;
-    tests use it to grab the bound port.
+    tests use it to grab the bound port.  ``metrics_port`` additionally
+    starts the Prometheus text exposition on that port (0 = ephemeral;
+    read it back via ``server.metrics_port`` in ``on_ready``).
+    ``on_final_stats(stats)`` fires after the drain with the last
+    cross-worker aggregation, so a SIGTERM'd run still reports.
     """
     import signal
 
     server = ServeServer(graph, **server_kwargs)
     await server.start()
+    if metrics_port is not None:
+        await server.start_metrics(host, metrics_port)
     stop = asyncio.Event()
     loop = asyncio.get_running_loop()
     for signum in (signal.SIGTERM, signal.SIGINT):
@@ -722,3 +915,5 @@ async def serve(
             await stop.wait()
     finally:
         await server.shutdown()
+        if on_final_stats is not None and server.final_stats is not None:
+            on_final_stats(server.final_stats)

@@ -10,6 +10,8 @@ loops over pickled control tuples:
 
 parent → child
     ``("req", rid, payload)``  execute one JSONL query payload;
+    ``("stats", rid)``         snapshot this worker's observability
+    state (service counters, metrics registry, slow-query log);
     ``("reload", name)``       detach, attach segment ``name`` instead
     (the coarse v1 invalidation: the process-local caches are dropped
     wholesale by re-registering the new graph);
@@ -17,7 +19,9 @@ parent → child
 
 child → parent
     ``("ready", pid, segment_name, epoch)``  after every successful
-    (re-)attach; ``("res", rid, response_dict)`` per request.
+    (re-)attach; ``("res", rid, response_dict)`` per request (stats
+    snapshots answer with the same kind, so the owner's pending-future
+    plumbing serves both).
 
 Mutations never reach a worker: the server owns the write path
 (:mod:`repro.serve.server`).  A ``{"mutate": ...}`` payload that does
@@ -87,6 +91,29 @@ def execute_payload(service, payload: Dict[str, Any]) -> Dict[str, Any]:
     return service.execute(request).to_dict()
 
 
+def worker_stats(service) -> Dict[str, Any]:
+    """This process's observability snapshot (JSON-ready), never raising.
+
+    Works without a graph registered: the service counters and the
+    registry exist from construction, so a stats request against an
+    idle pool still answers.
+    """
+    try:
+        return {
+            "status": "ok",
+            "pid": os.getpid(),
+            "service": service.stats(),
+            "metrics": service.obs.registry.snapshot(),
+            "slowlog": service.obs.slowlog.entries(),
+        }
+    except Exception as exc:  # noqa: BLE001 — stats must never kill serving.
+        return {
+            "status": "error",
+            "pid": os.getpid(),
+            "error": f"{type(exc).__name__}: {exc}",
+        }
+
+
 def worker_main(
     conn,
     segment_name: str,
@@ -95,6 +122,7 @@ def worker_main(
     plan_cache_size: int = 256,
     annotation_cache_size: int = 128,
     default_mode: str = "memoryless",
+    slow_ms: float = 0.0,
 ) -> None:
     """Entry point of one serving worker (runs in the forked child).
 
@@ -122,6 +150,7 @@ def worker_main(
             annotation_cache_size=annotation_cache_size,
             default_mode=default_mode,
             max_workers=1,
+            slow_ms=slow_ms,
         )
         service.register_graph(graph_name, graph, warm=True)
         return graph, service
@@ -149,6 +178,12 @@ def worker_main(
             conn.send(
                 ("ready", os.getpid(), segment_name, graph.attached_epoch)
             )
+            continue
+        if kind == "stats":
+            try:
+                conn.send(("res", msg[1], worker_stats(service)))
+            except (BrokenPipeError, OSError):
+                break
             continue
         if kind == "req":
             rid, payload = msg[1], msg[2]

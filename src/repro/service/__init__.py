@@ -72,7 +72,8 @@ above are implemented in :class:`repro.api.Database` and shared with
 every other entry point (the ``rpq()`` helpers, the CLI);
 :class:`QueryService` is the JSONL protocol adapter on top — request
 parsing/validation, response rendering, the thread-pool batch
-executor and the service counters.
+executor, the slow-query log and the service metrics (kept in a
+:class:`repro.obs.Observability` bundle — see :mod:`repro.obs`).
 """
 
 from repro.service.cache import CacheStats, LRUCache
@@ -84,7 +85,7 @@ from repro.service.requests import (
     RequestError,
     read_requests_jsonl,
 )
-from repro.service.service import QueryService, ServiceError, ServiceStats
+from repro.service.service import QueryService, ServiceError
 
 __all__ = [
     "CacheStats",
@@ -96,6 +97,5 @@ __all__ = [
     "QueryService",
     "RequestError",
     "ServiceError",
-    "ServiceStats",
     "read_requests_jsonl",
 ]

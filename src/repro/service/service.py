@@ -27,12 +27,11 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
-import threading
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.exceptions import InvalidDeltaError, ReproError
 from repro.graph.database import Graph
+from repro.obs import Observability
 from repro.service.requests import (
     MutationRequest,
     MutationResponse,
@@ -44,42 +43,6 @@ from repro.service.requests import (
 
 class ServiceError(ReproError):
     """Service-level misuse (unknown graph, no graph registered, …)."""
-
-
-@dataclass
-class ServiceStats:
-    """Aggregated service counters (snapshot via :meth:`as_dict`)."""
-
-    requests: int = 0
-    errors: int = 0
-    timeouts: int = 0
-    walks_emitted: int = 0
-    mutations: int = 0
-    mutation_ops: int = 0
-    compactions: int = 0
-    evicted_plans: int = 0
-    evicted_annotations: int = 0
-    plan_build_s: float = 0.0
-    annotation_build_s: float = 0.0
-    enumerate_s: float = 0.0
-    total_s: float = 0.0
-
-    def as_dict(self) -> Dict[str, float]:
-        return {
-            "requests": self.requests,
-            "errors": self.errors,
-            "timeouts": self.timeouts,
-            "walks_emitted": self.walks_emitted,
-            "mutations": self.mutations,
-            "mutation_ops": self.mutation_ops,
-            "compactions": self.compactions,
-            "evicted_plans": self.evicted_plans,
-            "evicted_annotations": self.evicted_annotations,
-            "plan_build_s": round(self.plan_build_s, 6),
-            "annotation_build_s": round(self.annotation_build_s, 6),
-            "enumerate_s": round(self.enumerate_s, 6),
-            "total_s": round(self.total_s, 6),
-        }
 
 
 class QueryService:
@@ -111,12 +74,22 @@ class QueryService:
         wal_dir: Optional[str] = None,
         wal_sync: str = "group",
         wal_group_window_ms: float = 50.0,
+        obs: Optional[Observability] = None,
+        slow_ms: float = 0.0,
+        slowlog_capacity: int = 64,
     ) -> None:
         if default_mode not in ("iterative", "recursive", "memoryless"):
             raise ServiceError(
                 f"default_mode must be a concrete engine mode, "
                 f"got {default_mode!r}"
             )
+        #: Observability bundle (metrics registry + slow-query log).
+        #: The service defaults to an *enabled* bundle — counters have
+        #: always been on here; pass ``Observability.disabled()`` to
+        #: run bare.
+        self.obs = obs if obs is not None else Observability(
+            slow_ms=slow_ms, slowlog_capacity=slowlog_capacity
+        )
         # Imported lazily: repro.api.database itself imports
         # repro.service.cache, so a module-level import here would be
         # circular when repro.api loads first.
@@ -126,6 +99,7 @@ class QueryService:
             plan_cache_size=plan_cache_size,
             annotation_cache_size=annotation_cache_size,
             default_mode=default_mode,
+            obs=self.obs,
         )
         self.default_mode = default_mode
         self.max_workers = max_workers
@@ -136,8 +110,23 @@ class QueryService:
         self.wal_dir = wal_dir
         self.wal_sync = wal_sync
         self.wal_group_window_ms = wal_group_window_ms
-        self._stats = ServiceStats()
-        self._stats_lock = threading.Lock()
+        # Instrument handles resolved once; on a disabled bundle these
+        # are the shared null instruments, so the hot path stays cheap.
+        registry = self.obs.registry
+        self._c_requests = registry.counter("service.requests")
+        self._c_errors = registry.counter("service.errors")
+        self._c_timeouts = registry.counter("service.timeouts")
+        self._c_walks = registry.counter("service.walks_emitted")
+        self._c_mutations = registry.counter("service.mutations")
+        self._c_mutation_ops = registry.counter("service.mutation_ops")
+        self._c_compactions = registry.counter("service.compactions")
+        self._c_evicted_plans = registry.counter("service.evicted_plans")
+        self._c_evicted_annotations = registry.counter(
+            "service.evicted_annotations"
+        )
+        self._h_total = registry.histogram("service.request_seconds")
+        self._h_enumerate = registry.histogram("service.enumerate_seconds")
+        self._h_annotate = registry.histogram("service.annotate_seconds")
 
     # -- graph registry ------------------------------------------------------
 
@@ -219,15 +208,9 @@ class QueryService:
                 id=request.id,
             )
         response.timings["total"] = time.perf_counter() - started
-        with self._stats_lock:
-            self._stats.requests += 1
-            self._stats.total_s += response.timings["total"]
-            self._stats.enumerate_s += response.timings.get("enumerate", 0.0)
-            if response.status == "error":
-                self._stats.errors += 1
-            elif response.status == "timeout":
-                self._stats.timeouts += 1
-            self._stats.walks_emitted += len(response.walks)
+        self._record(response)
+        if self.obs.should_log(response.timings["total"]):
+            self.obs.slowlog.record(self._slowlog_entry(request, response))
         return response
 
     def execute_mutation(
@@ -273,24 +256,96 @@ class QueryService:
                 id=request.id,
             )
         response.timings["total"] = time.perf_counter() - started
-        with self._stats_lock:
-            self._stats.requests += 1
-            self._stats.total_s += response.timings["total"]
-            if response.status == "error":
-                self._stats.errors += 1
-            else:
-                self._stats.mutations += 1
-                self._stats.mutation_ops += response.result.get("ops", 0)
-                self._stats.compactions += int(
-                    response.result.get("compacted", False)
-                )
-                self._stats.evicted_plans += response.result.get(
-                    "evicted_plans", 0
-                )
-                self._stats.evicted_annotations += response.result.get(
-                    "evicted_annotations", 0
-                )
+        self._record(response)
         return response
+
+    def _record(self, response) -> None:
+        """Update the service instruments from one finished response.
+
+        The single accounting path for queries *and* mutations — the
+        per-instrument locks in the registry replace the old
+        ``ServiceStats`` double-lock bookkeeping, and the two formerly
+        duplicated update blocks collapse into this helper.
+        """
+        self._c_requests.inc()
+        self._h_total.observe(response.timings["total"])
+        if response.status == "error":
+            self._c_errors.inc()
+            return
+        if isinstance(response, MutationResponse):
+            self._c_mutations.inc()
+            self._c_mutation_ops.inc(response.result.get("ops", 0))
+            self._c_compactions.inc(
+                int(response.result.get("compacted", False))
+            )
+            self._c_evicted_plans.inc(
+                response.result.get("evicted_plans", 0)
+            )
+            self._c_evicted_annotations.inc(
+                response.result.get("evicted_annotations", 0)
+            )
+            return
+        if response.status == "timeout":
+            self._c_timeouts.inc()
+        self._c_walks.inc(len(response.walks))
+        if "enumerate" in response.timings:
+            self._h_enumerate.observe(response.timings["enumerate"])
+        if "annotate" in response.timings:
+            self._h_annotate.observe(response.timings["annotate"])
+
+    @staticmethod
+    def _slowlog_entry(request: QueryRequest, response: QueryResponse):
+        """Span tree + explain payload for one slow (or traced) request.
+
+        Returns a zero-arg callable (the :class:`~repro.obs.SlowLog`
+        lazy-entry form): with ``slow_ms=0`` every request records, so
+        the scalars are captured eagerly — cheap, and crucially *not*
+        retaining the response with its materialized walks in the ring
+        — while the JSON rendering (rounding, span-tree dicts) is
+        deferred to the rare read path.
+        """
+        rid = request.id
+        query = request.query
+        source = request.source
+        target = request.target
+        graph = request.graph
+        mode = request.mode
+        semantics = request.semantics
+        status = response.status
+        lam = response.lam
+        cached = dict(response.cached)
+        timings = dict(response.timings)
+        n_walks = len(response.walks)
+        trace = getattr(response, "trace", None)
+
+        def render() -> Dict[str, Any]:
+            return {
+                "kind": "query",
+                "id": rid,
+                "status": status,
+                "total_ms": round(timings.get("total", 0.0) * 1000.0, 3),
+                "request": {
+                    "query": query,
+                    "source": source,
+                    "target": target,
+                    "graph": graph,
+                    "mode": mode,
+                    "semantics": semantics,
+                },
+                "explain": {
+                    "lam": lam,
+                    "cached": cached,
+                    "timings": {
+                        k: round(v, 6) for k, v in timings.items()
+                    },
+                    "walks": n_walks,
+                },
+                "spans": (
+                    trace.to_dict()["spans"] if trace is not None else []
+                ),
+            }
+
+        return render
 
     def execute_batch(
         self,
@@ -360,14 +415,16 @@ class QueryService:
             query = query.cursor(list(request.cursor))
         result = query.run()
         if result.lam is None:
-            return QueryResponse(
+            response = QueryResponse(
                 status="empty",
                 cached=result.stats["cached"],
                 timings=result.stats["timings"],
                 id=request.id,
             )
+            response.trace = result.stats.get("trace")
+            return response
         walks = [row.walk.to_dict() for row in result]
-        return QueryResponse(
+        response = QueryResponse(
             status="timeout" if result.timed_out else "ok",
             lam=result.lam,
             walks=walks,
@@ -381,16 +438,51 @@ class QueryService:
             timings=result.stats["timings"],
             id=request.id,
         )
+        # Stashed out-of-band: the trace is service-internal (slow log,
+        # span-tree tests) and must not leak into the JSONL wire dict.
+        response.trace = result.stats.get("trace")
+        return response
 
     # -- statistics ----------------------------------------------------------
 
     def stats(self) -> Dict[str, Any]:
-        """A point-in-time snapshot of every service counter."""
+        """A point-in-time snapshot of every service counter.
+
+        Key layout predates ``repro.obs`` and is part of the protocol
+        surface (CLI ``--stats``, serve workers, tests); the values now
+        read from the metrics registry instead of ``ServiceStats``.
+        """
         plan_build_s, annotation_build_s = self._db.build_seconds()
-        with self._stats_lock:
-            self._stats.plan_build_s = plan_build_s
-            self._stats.annotation_build_s = annotation_build_s
-            counters = self._stats.as_dict()
+        registry = self.obs.registry
+        counters = {
+            "requests": int(registry.counter_value("service.requests")),
+            "errors": int(registry.counter_value("service.errors")),
+            "timeouts": int(registry.counter_value("service.timeouts")),
+            "walks_emitted": int(
+                registry.counter_value("service.walks_emitted")
+            ),
+            "mutations": int(registry.counter_value("service.mutations")),
+            "mutation_ops": int(
+                registry.counter_value("service.mutation_ops")
+            ),
+            "compactions": int(
+                registry.counter_value("service.compactions")
+            ),
+            "evicted_plans": int(
+                registry.counter_value("service.evicted_plans")
+            ),
+            "evicted_annotations": int(
+                registry.counter_value("service.evicted_annotations")
+            ),
+            "plan_build_s": round(plan_build_s, 6),
+            "annotation_build_s": round(annotation_build_s, 6),
+            "enumerate_s": round(
+                registry.histogram_sum("service.enumerate_seconds"), 6
+            ),
+            "total_s": round(
+                registry.histogram_sum("service.request_seconds"), 6
+            ),
+        }
         return {
             **counters,
             **self._db.cache_stats(),

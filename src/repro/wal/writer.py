@@ -43,6 +43,18 @@ LOG_NAME = "wal.log"
 
 _SYNC_MODES = ("always", "group", "none")
 
+_null_registry = None
+
+
+def _disabled_registry():
+    """Shared disabled registry: null instruments for metrics=None."""
+    global _null_registry
+    if _null_registry is None:
+        from repro.obs.metrics import MetricsRegistry
+
+        _null_registry = MetricsRegistry(enabled=False)
+    return _null_registry
+
 
 def _check_ops_wire_safe(ops: Sequence[Delta]) -> None:
     """Fail a batch *before* logging when it would not round-trip.
@@ -76,12 +88,23 @@ class WalWriter:
         group_window_ms: float = 50.0,
         start_lsn: int = 0,
         start_offset: int = 0,
+        metrics: Optional[Any] = None,
     ) -> None:
         if sync not in _SYNC_MODES:
             raise WalError(
                 f"unknown sync mode {sync!r}; expected one of "
                 f"{', '.join(_SYNC_MODES)}"
             )
+        # Instruments resolve before the file opens: the torn-tail
+        # truncation below already fsyncs.  With metrics=None these
+        # are the shared null instruments (no-op methods).
+        registry = metrics if metrics is not None else _disabled_registry()
+        self._h_fsync = registry.histogram("wal.fsync_seconds")
+        self._h_batch = registry.histogram(
+            "wal.group_batch_size", bounds=(1, 2, 4, 8, 16, 32, 64, 128)
+        )
+        self._c_torn = registry.counter("wal.torn_tail_truncations")
+        self._records_since_sync = 0
         os.makedirs(wal_dir, exist_ok=True)
         self.wal_dir = wal_dir
         self.path = os.path.join(wal_dir, LOG_NAME)
@@ -99,6 +122,7 @@ class WalWriter:
         if size > start_offset:
             # Drop the torn tail (or any bytes past the valid prefix)
             # before appending, so the log stays a clean frame stream.
+            self._c_torn.inc()
             self._fh.truncate(start_offset)
             self._fh.seek(start_offset)
             self._fsync()
@@ -145,6 +169,7 @@ class WalWriter:
         return self._last_lsn
 
     def _commit(self) -> None:
+        self._records_since_sync += 1
         self._fh.flush()
         if self.sync == "always":
             self._fsync()
@@ -156,7 +181,13 @@ class WalWriter:
                 self._pending_sync = True
 
     def _fsync(self) -> None:
+        t0 = time.perf_counter()
         os.fsync(self._fh.fileno())
+        self._h_fsync.observe(time.perf_counter() - t0)
+        if self._records_since_sync:
+            # Records sharing this barrier — the group-commit batch.
+            self._h_batch.observe(self._records_since_sync)
+            self._records_since_sync = 0
         self._last_fsync = time.monotonic()
         self._pending_sync = False
 

@@ -15,7 +15,10 @@ path.  These property tests pin the two pipelines together:
   order, which ``Trim``'s certificate sort makes unobservable);
 * **structure contents** — the packed ``Trim``/``ResumableTrim``
   compatibility views must match a trim of the reference annotation
-  queue-for-queue and payload-for-payload;
+  queue-for-queue and payload-for-payload (witness payloads again as
+  multisets — the queue items and skip-index cells inherit ``B``'s
+  within-cell append order, and every consumer unions them into a
+  certificate set);
 * **enumeration order** — the packed eager DFS, the recursive
   transcription (which runs over the compatibility queue view), the
   packed memoryless ``NextOutput`` *and* the full reference pipeline
@@ -124,7 +127,13 @@ class TestTrimViews:
         for u in graph.vertices():
             assert set(packed_trim.queues[u]) == set(ref_trim.queues[u])
             for p, ref_queue in ref_trim.queues[u].items():
-                assert list(packed_trim.queue(u, p)) == list(ref_queue)
+                got_items = list(packed_trim.queue(u, p))
+                ref_items = list(ref_queue)
+                # Same edges in the same TgtIdx order; witness payloads
+                # as multisets (within-cell order is traversal-specific
+                # — see the module docstring).
+                assert [(e, sorted(preds)) for e, preds in got_items] \
+                    == [(e, sorted(preds)) for e, preds in ref_items]
 
     @given(small_instances())
     @settings(**_SETTINGS)
@@ -142,7 +151,10 @@ class TestTrimViews:
                 got = packed_res.for_state(u, p)
                 assert got.non_empty_indices() == ref_idx.non_empty_indices()
                 for i in ref_idx.non_empty_indices():
-                    assert got.payload(i) == ref_idx.payload(i)
+                    # Witness multiset per cell; within-cell order is
+                    # traversal-specific (see the module docstring).
+                    assert sorted(got.payload(i)) \
+                        == sorted(ref_idx.payload(i))
 
 
 class TestEnumerationOrder:

@@ -1,0 +1,285 @@
+"""Cross-worker stats aggregation against a real serving pool.
+
+These tests pin the serve-tier half of the observability tentpole:
+workers snapshot their registries over the control pipe, the owner
+merges (sum counters / max gauges / add histogram buckets) and serves
+the result as a ``{"stats": ...}`` JSONL request, a Prometheus text
+endpoint, and a final drain-path snapshot.  The degraded path is
+exercised too: an unreachable worker yields a *partial but labeled*
+aggregation, never a hang or a crash.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+
+from repro.graph.builder import GraphBuilder
+from repro.serve import ServeClient
+from repro.serve.server import ServeServer
+
+
+def _demo_graph():
+    builder = GraphBuilder()
+    builder.add_edge("Alix", "Dan", ["h", "s"])
+    builder.add_edge("Dan", "Eve", ["h"])
+    builder.add_edge("Eve", "Bob", ["s"])
+    builder.add_edge("Alix", "Bob", ["t"])
+    return builder.build()
+
+
+async def _booted(**kwargs) -> ServeServer:
+    server = ServeServer(_demo_graph(), **kwargs)
+    await server.start()
+    return server
+
+
+async def _tcp_exchange(port: int, lines):
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        for line in lines:
+            writer.write(json.dumps(line).encode() + b"\n")
+        await writer.drain()
+        out = []
+        for _ in range(len(lines)):
+            raw = await asyncio.wait_for(reader.readline(), timeout=30)
+            assert raw, "server closed mid-batch"
+            out.append(json.loads(raw))
+        return out
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+def _walk_names(spans):
+    for span in spans:
+        yield span["name"]
+        yield from _walk_names(span.get("children", []))
+
+
+def test_single_query_yields_full_span_tree_via_stats_request() -> None:
+    """The acceptance path: one served query, then the JSONL stats
+    request returns merged counters plus the complete
+    parse->compile->annotate->trim->enumerate span tree."""
+
+    async def scenario():
+        server = await _booted(workers=4)
+        try:
+            port = await server.start_tcp("127.0.0.1", 0)
+            query = {
+                "query": "h* s (h | s)*",
+                "source": "Alix",
+                "target": "Bob",
+            }
+            (response,) = await _tcp_exchange(port, [query])
+            assert response["status"] == "ok"
+
+            (answer,) = await _tcp_exchange(
+                port, [{"stats": True, "id": "s1"}]
+            )
+            assert answer["status"] == "ok"
+            assert answer["id"] == "s1"
+            stats = answer["stats"]
+            assert stats["partial"] is False
+            assert len(stats["workers"]) == 4
+            assert all(w["status"] == "ok" for w in stats["workers"])
+            assert {w["index"] for w in stats["workers"]} == {0, 1, 2, 3}
+
+            merged = stats["merged"]
+            assert merged["metrics"]["counters"]["service.requests"] == 1
+            assert merged["service"]["requests"] == 1
+            hist = merged["metrics"]["histograms"]["service.request_seconds"]
+            assert hist["count"] == 1
+            assert "p95" in hist
+            # The owner's own instruments ride along in the merge.
+            assert merged["metrics"]["counters"]["serve.requests"] >= 1
+            assert merged["metrics"]["gauges"]["serve.workers"] == 4
+
+            spans = [
+                entry["spans"]
+                for worker in stats["workers"]
+                for entry in worker["slowlog"]
+            ]
+            assert len(spans) == 1  # exactly one worker served it
+            assert list(_walk_names(spans[0])) == [
+                "parse",
+                "compile",
+                "annotate",
+                "trim",
+                "enumerate",
+            ]
+            annotate = [s for s in spans[0] if s["name"] == "annotate"][0]
+            assert annotate["tags"]["cached"] is False
+        finally:
+            await server.shutdown()
+
+    asyncio.run(scenario())
+
+
+def test_stats_answer_without_any_query_traffic() -> None:
+    """An idle pool still answers — the admin request must not depend
+    on a request having warmed anything."""
+
+    async def scenario():
+        server = await _booted(workers=2)
+        try:
+            port = await server.start_tcp("127.0.0.1", 0)
+            (answer,) = await _tcp_exchange(port, [{"stats": True}])
+            assert answer["status"] == "ok"
+            assert answer["stats"]["partial"] is False
+            merged = answer["stats"]["merged"]
+            assert merged["service"]["requests"] == 0
+        finally:
+            await server.shutdown()
+
+    asyncio.run(scenario())
+
+
+def test_stopped_worker_yields_partial_labeled_aggregation() -> None:
+    """SIGSTOP one worker mid-aggregation: the collect times out on
+    that worker only, labels it unavailable, and the rest of the pool
+    still reports — partial=True, nothing hangs."""
+
+    async def scenario():
+        server = await _booted(workers=2)
+        stopped = None
+        try:
+            await server.start_tcp("127.0.0.1", 0)
+            stopped = server.worker_pids()[0]
+            os.kill(stopped, signal.SIGSTOP)
+            stats = await server.collect_stats(timeout_s=0.5)
+            assert stats["partial"] is True
+            by_status = {}
+            for worker in stats["workers"]:
+                by_status.setdefault(worker["status"], []).append(worker)
+            assert len(by_status.get("ok", [])) == 1
+            (down,) = by_status["unavailable"]
+            assert down["reason"] in ("timeout", "pipe closed", "crashed")
+            assert down["pid"] == stopped
+            # The merge covers the live worker, not garbage.
+            assert stats["merged"]["service"]["requests"] == 0
+        finally:
+            if stopped is not None:
+                os.kill(stopped, signal.SIGCONT)
+            await server.shutdown()
+
+    asyncio.run(scenario())
+
+
+def test_killed_worker_yields_partial_labeled_aggregation() -> None:
+    async def scenario():
+        server = await _booted(workers=2)
+        try:
+            await server.start_tcp("127.0.0.1", 0)
+            os.kill(server.worker_pids()[1], signal.SIGKILL)
+            stats = await server.collect_stats(timeout_s=5.0)
+            assert stats["partial"] is True
+            statuses = sorted(w["status"] for w in stats["workers"])
+            assert statuses == ["ok", "unavailable"]
+        finally:
+            await server.shutdown()
+
+    asyncio.run(scenario())
+
+
+def test_serve_client_stats_convenience() -> None:
+    async def scenario():
+        server = await _booted(workers=2)
+        try:
+            port = await server.start_tcp("127.0.0.1", 0)
+            loop = asyncio.get_running_loop()
+
+            def roundtrip():
+                with ServeClient("127.0.0.1", port) as client:
+                    client.query("h* s (h | s)*", "Alix", "Bob")
+                    return client.stats()
+
+            answer = await loop.run_in_executor(None, roundtrip)
+            assert answer["status"] == "ok"
+            merged = answer["stats"]["merged"]
+            assert merged["metrics"]["counters"]["service.requests"] == 1
+        finally:
+            await server.shutdown()
+
+    asyncio.run(scenario())
+
+
+def test_prometheus_endpoint_serves_merged_text() -> None:
+    async def scenario():
+        server = await _booted(workers=2)
+        try:
+            port = await server.start_tcp("127.0.0.1", 0)
+            mport = await server.start_metrics("127.0.0.1", 0)
+            assert server.metrics_port == mport
+            await _tcp_exchange(
+                port,
+                [{"query": "h* s (h | s)*", "source": "Alix",
+                  "target": "Bob"}],
+            )
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", mport
+            )
+            try:
+                writer.write(b"GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n")
+                await writer.drain()
+                raw = await asyncio.wait_for(reader.read(), timeout=30)
+            finally:
+                writer.close()
+            text = raw.decode()
+            head, _, body = text.partition("\r\n\r\n")
+            assert " 200 OK" in head
+            assert "text/plain; version=0.0.4" in head
+            lines = body.splitlines()
+            assert "repro_service_requests 1" in lines
+            assert any(
+                line.startswith("repro_service_request_seconds_bucket")
+                for line in lines
+            )
+            assert 'le="+Inf"' in body
+        finally:
+            await server.shutdown()
+
+    asyncio.run(scenario())
+
+
+def test_shutdown_captures_final_stats() -> None:
+    """Satellite: the drain path snapshots the pool before stopping
+    the workers, so short-lived smoke runs are not blind."""
+
+    async def scenario():
+        server = await _booted(workers=2)
+        try:
+            port = await server.start_tcp("127.0.0.1", 0)
+            await _tcp_exchange(
+                port,
+                [{"query": "h* s (h | s)*", "source": "Alix",
+                  "target": "Bob"}],
+            )
+        finally:
+            await server.shutdown()
+        final = server.final_stats
+        assert final is not None
+        assert final["partial"] is False
+        assert final["merged"]["service"]["requests"] == 1
+        return None
+
+    asyncio.run(scenario())
+
+
+def test_disabled_obs_server_skips_final_stats() -> None:
+    from repro.obs import Observability
+
+    async def scenario():
+        server = await _booted(workers=1, obs=Observability.disabled())
+        try:
+            await server.start_tcp("127.0.0.1", 0)
+        finally:
+            await server.shutdown()
+        assert server.final_stats is None
+
+    asyncio.run(scenario())
